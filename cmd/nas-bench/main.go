@@ -1,0 +1,28 @@
+// Command nas-bench regenerates the paper's Table 6: the NAS kernels (BT,
+// FT, LU, MG, SP) on 16 thin SP nodes under MPI-F and MPI-AM, with
+// cross-implementation checksum verification.
+//
+// Usage:
+//
+//	nas-bench          # 16-node scaled-class run
+//	nas-bench -quick   # small smoke configuration
+package main
+
+import (
+	"flag"
+	"os"
+
+	"spam/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small smoke configuration")
+	flag.Parse()
+
+	cfg := bench.PaperNAS()
+	if *quick {
+		cfg = bench.QuickNAS()
+	}
+	rows := bench.RunNAS(cfg)
+	bench.PrintNAS(os.Stdout, rows, cfg.NProcs)
+}

@@ -1,0 +1,78 @@
+// Command spam-bench regenerates the paper's Section-2 measurements of SP
+// Active Messages against IBM MPL: Table 2 (am_request/am_reply call
+// costs), Table 3 / §2.3 (round-trip latencies), and Figure 3 (bandwidth
+// of blocking and non-blocking bulk transfers).
+//
+// Usage:
+//
+//	spam-bench -table 2      # am_request_N / am_reply_N costs
+//	spam-bench -table 3      # round trips + r_inf + n_1/2 summary
+//	spam-bench -figure 3     # the six bandwidth curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spam/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 2 or 3")
+	figure := flag.Int("figure", 0, "regenerate figure 3")
+	total := flag.Int("total", 1<<20, "bytes moved per bandwidth measurement")
+	stats := flag.Bool("stats", false, "run a mixed workload and dump protocol statistics")
+	flag.Parse()
+
+	switch {
+	case *stats:
+		bench.ProtocolStats(os.Stdout)
+	case *table == 2:
+		fmt.Println("# Table 2: cost of am_request_N / am_reply_N calls (us)")
+		fmt.Printf("%-4s %12s %12s\n", "N", "am_request", "am_reply")
+		for n := 1; n <= 4; n++ {
+			fmt.Printf("%-4d %12.2f %12.2f\n", n, bench.RequestCost(n), bench.ReplyCost(n))
+		}
+		fmt.Println("# paper: request 7.7/7.9/8.0/8.2, reply 4.0/4.1/4.3/4.4")
+
+	case *table == 3:
+		fmt.Println("# Table 3: performance summary, SP AM vs IBM MPL")
+		amRTT := bench.AMRoundTrip(1, 30)
+		mplRTT := bench.MPLRoundTrip(30)
+		raw := bench.RawRoundTrip(30)
+		fmt.Printf("one-word round-trip:  AM %6.1f us   MPL %6.1f us   raw %6.1f us\n", amRTT, mplRTT, raw)
+		fmt.Println("# paper: AM 51.0, MPL 88.0, raw ~47")
+
+		amR := bench.AMBandwidth(bench.AsyncStore, 1<<20, *total)
+		mplR := bench.MPLBandwidth(false, 1<<20, *total)
+		fmt.Printf("asymptotic bandwidth: AM %6.2f MB/s MPL %6.2f MB/s\n", amR, mplR)
+		fmt.Println("# paper: AM 34.3, MPL 34.6")
+
+		sizes := []int{64, 128, 192, 256, 320, 512, 1024, 2048, 4096, 16384, 65536, 1 << 20}
+		amC := bench.AMBandwidthCurve(bench.AsyncStore, sizes, *total)
+		mplC := bench.MPLBandwidthCurve(false, sizes, *total)
+		fmt.Printf("half-power point:     AM %6.0f B    MPL %6.0f B (non-blocking)\n",
+			amC.NHalf(), mplC.NHalf())
+		amS := bench.AMBandwidthCurve(bench.SyncStore, sizes, *total)
+		mplB := bench.MPLBandwidthCurve(true, sizes, *total)
+		fmt.Printf("half-power point:     AM %6.0f B    MPL %6.0f B (blocking)\n",
+			amS.NHalf(), mplB.NHalf())
+
+	case *figure == 3:
+		sizes := bench.SizesLog(16, 1<<20)
+		curves := []bench.Curve{
+			bench.AMBandwidthCurve(bench.SyncStore, sizes, *total),
+			bench.AMBandwidthCurve(bench.SyncGet, sizes, *total),
+			bench.MPLBandwidthCurve(true, sizes, *total),
+			bench.AMBandwidthCurve(bench.AsyncStore, sizes, *total),
+			bench.AMBandwidthCurve(bench.AsyncGet, sizes, *total),
+			bench.MPLBandwidthCurve(false, sizes, *total),
+		}
+		bench.PrintCurves(os.Stdout, "Figure 3: bandwidth of blocking and non-blocking bulk transfers (MB/s)", curves)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,13 @@
+// Package spam is a full reproduction, in simulation, of "Low-Latency
+// Communication on the IBM RISC System/6000 SP" (Chang, Czajkowski,
+// Hawblitzel, von Eicken — Supercomputing 1996).
+//
+// The library builds every system the paper describes: a calibrated
+// discrete-event model of the SP hardware (POWER2 nodes, TB2 adapter,
+// high-performance switch), SP Active Messages with the paper's full
+// flow-control protocol, the IBM MPL baseline, a Split-C runtime with the
+// paper's application benchmarks on five machines, MPICH-over-AM with
+// buffered/rendezvous/hybrid protocols, an MPI-F comparator, and the NAS
+// kernels of Table 6. See README.md for a tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package spam

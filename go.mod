@@ -1,0 +1,3 @@
+module spam
+
+go 1.22

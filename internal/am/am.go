@@ -1,0 +1,280 @@
+// Package am implements SP Active Messages (SP AM), the paper's primary
+// contribution: a Generic-Active-Messages-1.1 communication layer built
+// directly on the TB2 adapter model with no operating-system involvement.
+//
+// Messages are requests and matching replies carrying a handler id and up
+// to four 32-bit words; bulk transfers (Store, StoreAsync, Get) move blocks
+// of memory named by the initiating node and invoke a handler when the
+// transfer completes. Delivery is reliable and ordered: sequence numbers
+// and a sliding window (72 packets for requests, 76 for replies) detect
+// losses, negative acknowledgements trigger go-back-N retransmission,
+// acks are piggybacked whenever possible, bulk data travels in 8064-byte
+// chunks acknowledged once per chunk, and a keep-alive probe recovers from
+// ack starvation. See paper §2.
+package am
+
+import (
+	"fmt"
+
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// HandlerID names a registered handler. Handler tables must be identical on
+// every node (SPMD registration order), as with handler addresses in GAM.
+type HandlerID int
+
+// Token identifies the request being handled; a request handler may use it
+// to issue exactly one reply.
+type Token struct {
+	Src      int // requesting node
+	mayReply bool
+}
+
+// Handler is a short-message handler, invoked during Poll on the receiving
+// node with up to four words of arguments.
+type Handler func(p *sim.Proc, ep *Endpoint, tok Token, args []uint32)
+
+// BulkHandler is invoked when a Store's data has fully arrived (on the
+// destination) or a Get's data has fully arrived (on the initiator).
+type BulkHandler func(p *sim.Proc, ep *Endpoint, tok Token, addr hw.Addr, nbytes int, arg uint32)
+
+// CompletionFunc runs on the sending side when a StoreAsync's source memory
+// is reusable (its final chunk has been acknowledged).
+type CompletionFunc func(p *sim.Proc, ep *Endpoint)
+
+// NoHandler suppresses the completion-side handler of a bulk operation.
+const NoHandler HandlerID = -1
+
+// Stats counts protocol events on one endpoint.
+type Stats struct {
+	Requests, Replies   int64
+	Stores, Gets        int64
+	BytesSent           int64
+	PacketsSent         int64
+	PacketsReceived     int64
+	Retransmits         int64
+	NacksSent, AcksSent int64
+	Probes              int64
+	Polls, EmptyPolls   int64
+	Duplicates          int64
+}
+
+// System is the AM layer instantiated across a cluster: one Endpoint per
+// node, all sharing handler-table layout and options.
+type System struct {
+	Cluster *hw.Cluster
+	EPs     []*Endpoint
+	Opt     Options
+}
+
+// New builds the AM layer on c with the paper's default options.
+func New(c *hw.Cluster) *System { return NewWithOptions(c, DefaultOptions()) }
+
+// NewWithOptions builds the AM layer with explicit protocol options.
+func NewWithOptions(c *hw.Cluster, opt Options) *System {
+	s := &System{Cluster: c, Opt: opt}
+	for _, n := range c.Nodes {
+		ep := &Endpoint{sys: s, node: n, n: len(c.Nodes)}
+		ep.peers = make([]*peerState, len(c.Nodes))
+		for i := range ep.peers {
+			ep.peers[i] = newPeerState(opt)
+		}
+		s.EPs = append(s.EPs, ep)
+	}
+	return s
+}
+
+// Register installs h in every endpoint's handler table and returns its id.
+// Registration must happen before the simulation starts.
+func (s *System) Register(h Handler) HandlerID {
+	id := HandlerID(len(s.EPs[0].handlers))
+	for _, ep := range s.EPs {
+		ep.handlers = append(ep.handlers, h)
+	}
+	return id
+}
+
+// RegisterBulk installs a bulk-completion handler on every endpoint.
+func (s *System) RegisterBulk(h BulkHandler) HandlerID {
+	id := HandlerID(len(s.EPs[0].bulkHandlers))
+	for _, ep := range s.EPs {
+		ep.bulkHandlers = append(ep.bulkHandlers, h)
+	}
+	return id
+}
+
+// Endpoint is one node's attachment to the AM layer. All methods taking a
+// *sim.Proc must be called from that node's program process.
+type Endpoint struct {
+	sys  *System
+	node *hw.Node
+	n    int
+
+	handlers     []Handler
+	bulkHandlers []BulkHandler
+
+	peers []*peerState
+
+	inHandler bool // restricts handlers to replies (GAM rule)
+
+	nextOp        uint64
+	ops           map[uint64]*bulkOp // in-flight ops this endpoint initiated
+	rawQ          []*hw.Packet       // raw-mode receive queue (calibration only)
+	popCount      int                // pops since start (lazy-pop batching)
+	pendingCommit int                // staged FIFO entries not yet committed
+
+	Stats Stats
+	// Data is application-owned context (runtimes hang their state here).
+	Data interface{}
+}
+
+// Node returns the underlying hardware node.
+func (ep *Endpoint) Node() *hw.Node { return ep.node }
+
+// ID returns this endpoint's node id.
+func (ep *Endpoint) ID() int { return ep.node.ID }
+
+// N returns the number of nodes in the system.
+func (ep *Endpoint) N() int { return ep.n }
+
+// System returns the owning AM system.
+func (ep *Endpoint) System() *System { return ep.sys }
+
+func (ep *Endpoint) peer(id int) *peerState {
+	if id < 0 || id >= len(ep.peers) {
+		panic(fmt.Sprintf("am: bad node id %d", id))
+	}
+	return ep.peers[id]
+}
+
+// ChannelDebug is a diagnostic snapshot of one sequence channel to a peer.
+type ChannelDebug struct {
+	NextSeq, AckedSeq uint64
+	Window            int
+	Queued            int // operations not yet injected
+	Saved             int // unacknowledged packets
+	Retx              int // retransmissions pending injection
+	WaitAck           int // bulk ops awaiting final ack
+	RxExpect          uint64
+	RxUnacked         int
+}
+
+// DebugChannel snapshots the protocol state toward peer on channel ch
+// (0 = requests, 1 = replies). Diagnostics only.
+func (ep *Endpoint) DebugChannel(peer, ch int) ChannelDebug {
+	ps := ep.peer(peer)
+	tc := &ps.tx[ch]
+	rc := &ps.rx[ch]
+	return ChannelDebug{
+		NextSeq: tc.nextSeq, AckedSeq: tc.ackedSeq, Window: tc.wnd,
+		Queued: len(tc.q), Saved: len(tc.saved), Retx: len(tc.retx),
+		WaitAck: len(tc.waitAck), RxExpect: rc.expect, RxUnacked: rc.unackedPkts,
+	}
+}
+
+// peerState is all protocol state one endpoint keeps about one peer.
+type peerState struct {
+	tx [2]txChan
+	rx [2]rxChan
+
+	// Keep-alive bookkeeping.
+	emptyStreak int
+	probed      bool // a probe is outstanding; next ack may imply a nack
+
+	// forceAck requests an explicit ack be emitted at the next opportunity
+	// (chunk completion or ack-threshold crossing).
+	forceAck bool
+}
+
+func newPeerState(opt Options) *peerState {
+	ps := &peerState{}
+	ps.tx[chReq].wnd = opt.wndRequest()
+	ps.tx[chRep].wnd = opt.wndReply()
+	ps.rx[chReq].lastNacked = ^uint64(0)
+	ps.rx[chRep].lastNacked = ^uint64(0)
+	return ps
+}
+
+// txChan is the sending half of one sequence channel to one peer.
+type txChan struct {
+	nextSeq  uint64 // next sequence unit to assign
+	ackedSeq uint64 // all units below this are acknowledged
+	wnd      int
+
+	q       []*txOp    // operations not yet fully injected
+	saved   []savedPkt // injected but unacknowledged packets
+	retx    []savedPkt // packets awaiting retransmission injection
+	waitAck []*bulkOp  // fully injected bulk ops awaiting final ack (FIFO)
+
+	lastNackRetx uint64 // last nack sequence acted on (dedup)
+	hasNackRetx  bool
+}
+
+// inFlight reports occupied window units.
+func (tc *txChan) inFlight() uint64 { return tc.nextSeq - tc.ackedSeq }
+
+// savedPkt retains what is needed to retransmit one packet.
+type savedPkt struct {
+	m    msg
+	data []byte // reference into the op's source (still pinned: op unacked)
+}
+
+// rxChan is the receiving half of one sequence channel from one peer.
+type rxChan struct {
+	expect      uint64 // next expected sequence unit (== cumulative ack value)
+	unackedPkts int    // received since we last acked in any way
+	lastNacked  uint64 // dedup: expect value we already nacked
+	badSince    int    // out-of-order arrivals since the last nack
+	chunk       *rxChunk
+}
+
+// nackRefresh re-sends a NACK after this many further out-of-order arrivals
+// for the same expected sequence: the first NACK (or the go-back-N burst it
+// triggered) may itself have been lost to FIFO overflow, and without a
+// refresh the flow wedges while unrelated chatter keeps the keep-alive
+// timer from ever firing.
+const nackRefresh = 64
+
+// rxChunk reassembles the (single, in-order) chunk currently arriving.
+type rxChunk struct {
+	seq   uint64
+	need  int
+	got   []bool
+	count int
+}
+
+// txOp is a queued send operation: a short message or a bulk transfer.
+type txOp struct {
+	short *msg // non-nil for request/reply/getreq/ack/nack/probe
+
+	bulk *bulkOp // non-nil for store/get-data streams
+
+	shortBuild sim.Time // host build cost to charge at injection
+	injected   bool     // short message has been pushed to the FIFO
+}
+
+// bulkOp tracks a bulk transfer from the sending side (store or get-data)
+// and, for gets, from the initiating side.
+type bulkOp struct {
+	id       uint64
+	bk       bulkKind
+	dst      int // node receiving the data
+	ch       int
+	src      []byte  // data source (sender side)
+	daddr    hw.Addr // destination base address
+	total    int
+	h        HandlerID // destination-side handler (store) / initiator handler (get)
+	arg      uint32
+	sent     int // bytes whose packets have been injected
+	injected bool
+	lastSeq  uint64 // seq of final chunk (valid once fully injected)
+	span     uint64 // final chunk's span
+
+	// Sender-side completion (store): final chunk acked.
+	acked      bool
+	onComplete CompletionFunc
+
+	// Initiator-side completion (get): all data arrived.
+	done bool
+}

@@ -1,0 +1,101 @@
+package am
+
+import (
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// Calibrated host-side software costs of SP AM (paper §2.3–2.5, Table 2).
+// The decomposition mirrors the paper's: a request costs its build time plus
+// the cache flush of the FIFO entry, one MicroChannel access for the length
+// array, and the poll performed before returning; a reply skips the poll and
+// has less flow-control bookkeeping. Calibration tests in calib_test.go pin
+// the sums at the published figures:
+//
+//	am_request_1  7.7 us   = build 5.00 + flush 0.45 + MC 1.00 + empty poll 1.30
+//	am_reply_1    4.0 us   = build 2.55 + flush 0.45 + MC 1.00
+//	poll (empty)  1.3 us
+//	per message  +1.8 us
+var (
+	costReqBuild   = hw.US(5.00) // request build + window/retransmit bookkeeping
+	costReplyBuild = hw.US(2.55) // reply build (no am_poll, less bookkeeping)
+	costPerWord    = hw.US(0.15) // per 32-bit argument word beyond the first
+	costPollEmpty  = hw.US(1.30) // polling an empty network
+	costPerMsg     = hw.US(1.80) // per received message (FIFO bookkeeping)
+	costDispatch   = hw.US(0.20) // handler table dispatch
+	costStoreSetup = hw.US(6.00) // per store/get op: header build + bookkeeping
+	costBulkPerPkt = hw.US(0.95) // per bulk packet build, excluding copy+flush
+	costCtrlBuild  = hw.US(1.00) // explicit ack / nack / probe build
+	costGetServe   = hw.US(2.00) // remote-side get request service
+	costRawSend    = hw.US(1.45) // raw (protocol-less) packet send build
+	costRawRecv    = hw.US(1.30) // raw per-message receive handling
+)
+
+// lazyPopBatch is how many receive-FIFO entries are popped per MicroChannel
+// access; the paper pops "lazily (after some fixed number of messages
+// polled) to reduce the number of microchannel accesses".
+const lazyPopBatch = 16
+
+// keepAlivePolls is the number of consecutive empty polls with
+// unacknowledged traffic outstanding before the keep-alive protocol sends a
+// probe ("timeouts are emulated by counting the number of unsuccessful
+// polls" — paper §2.2).
+const keepAlivePolls = 1500
+
+// Protocol constants from paper §2.2.
+const (
+	// ChunkBytes is the bulk-transfer chunk size: 36 packets of 224 bytes.
+	ChunkBytes = 8064
+	// ChunkPackets is the number of packets per full chunk.
+	ChunkPackets = ChunkBytes / hw.PacketDataSize
+	// WndRequest is the request-channel window in packets: at least two
+	// chunks so the 2-outstanding-chunk pipeline never stalls on window.
+	WndRequest = 72
+	// WndReply is the reply-channel window, slightly larger to accommodate
+	// start-up request messages.
+	WndReply = 76
+)
+
+// Options tune protocol features; the defaults are the paper's design.
+// Every switch exists so the ablation benchmarks can price the feature.
+type Options struct {
+	// PiggybackAcks piggybacks cumulative acks on all outgoing packets
+	// (default true). Off forces explicit ack traffic.
+	PiggybackAcks bool
+	// AckPerChunk acknowledges bulk data once per completed chunk (default
+	// true, the paper's design). Off selects the naive alternative the
+	// ablation benchmarks price: an explicit acknowledgement after every
+	// received packet.
+	AckPerChunk bool
+	// LazyPop batches receive-FIFO pops (default true). Off pays one
+	// MicroChannel access per popped entry.
+	LazyPop bool
+	// WndRequest/WndReply override the window sizes when nonzero.
+	WndRequest, WndReply int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{PiggybackAcks: true, AckPerChunk: true, LazyPop: true}
+}
+
+func (o Options) wndRequest() int {
+	if o.WndRequest > 0 {
+		return o.WndRequest
+	}
+	return WndRequest
+}
+
+func (o Options) wndReply() int {
+	if o.WndReply > 0 {
+		return o.WndReply
+	}
+	return WndReply
+}
+
+func wordsCost(n int) sim.Time {
+	if n <= 1 {
+		return 0
+	}
+	return sim.Time(n-1) * costPerWord
+}

@@ -1,0 +1,38 @@
+package am
+
+import (
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// RawSend transmits a protocol-less packet: no sequence number, no
+// acknowledgement, no retransmit copy. It exists only to reproduce the
+// paper's "raw message (no data or sequence number) ping-pong latency"
+// baseline that SP AM's 4 µs of protocol overhead is measured against
+// (§2.3). It spins for FIFO space if necessary.
+func (ep *Endpoint) RawSend(p *sim.Proc, dst int, nbytes int) {
+	ad := ep.node.Adapter
+	for ad.SendSpace() == 0 {
+		ep.Poll(p)
+	}
+	wire := hw.PacketHeaderSize + nbytes
+	m := &msg{kind: kRaw}
+	ep.node.ComputeUnscaled(p, costRawSend)
+	ep.node.Flush(p, wire)
+	var data []byte
+	if nbytes > 0 {
+		data = make([]byte, nbytes)
+	}
+	ep.push(dst, m, data, wire)
+	ep.maybeCommit(p, true)
+}
+
+// RawRecv returns the next raw packet delivered by Poll, or nil.
+func (ep *Endpoint) RawRecv() *hw.Packet {
+	if len(ep.rawQ) == 0 {
+		return nil
+	}
+	pkt := ep.rawQ[0]
+	ep.rawQ = ep.rawQ[1:]
+	return pkt
+}

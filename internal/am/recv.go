@@ -1,0 +1,309 @@
+package am
+
+import (
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// Poll services the network once: it drains every packet currently in the
+// receive FIFO (invoking handlers as messages complete), applies
+// acknowledgements, issues flow-control traffic, and advances pending
+// outgoing work. Polling an empty network costs 1.3 µs plus about 1.8 µs
+// per received message (paper §2.5).
+func (ep *Endpoint) Poll(p *sim.Proc) {
+	ep.Stats.Polls++
+	ep.node.ComputeUnscaled(p, costPollEmpty)
+	ad := ep.node.Adapter
+	got := 0
+	for {
+		pkt := ad.RecvPeek()
+		if pkt == nil {
+			break
+		}
+		ad.RecvPop()
+		got++
+		ep.chargePop(p)
+		ep.processPacket(p, pkt)
+	}
+	if got == 0 {
+		ep.Stats.EmptyPolls++
+		ep.keepAlive(p)
+	}
+	ep.drainAll(p)
+	ep.explicitAcks(p)
+}
+
+// chargePop accounts the lazy receive-FIFO pop: entries are flushed and
+// popped in batches to amortize the MicroChannel access (paper §2.1).
+func (ep *Endpoint) chargePop(p *sim.Proc) {
+	ep.popCount++
+	if !ep.sys.Opt.LazyPop || ep.popCount%lazyPopBatch == 0 {
+		p.Advance(ep.node.Adapter.Params().MCAccess)
+	}
+}
+
+func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) {
+	m := pkt.Msg.(*msg)
+	src := pkt.Src
+	ep.Stats.PacketsReceived++
+	ps := ep.peer(src)
+	ps.emptyStreak = 0
+
+	if m.kind == kRaw {
+		ep.node.ComputeUnscaled(p, costRawRecv)
+		ep.rawQ = append(ep.rawQ, pkt)
+		return
+	}
+	ep.node.ComputeUnscaled(p, costPerMsg)
+
+	if m.hasAck {
+		ep.applyAck(p, src, m.ackReq, m.ackRep)
+	}
+	switch m.kind {
+	case kAck:
+		// Cumulative ack already applied above.
+	case kNack:
+		ep.handleNack(src, m)
+	case kProbe:
+		ps.forceAck = true
+	case kRequest, kReply, kGetReq, kChunk:
+		ep.handleSequenced(p, src, ps, m, pkt)
+	}
+}
+
+// applyAck advances both channels' acked horizons, prunes the retransmit
+// store, and fires bulk-op completions in injection order.
+func (ep *Endpoint) applyAck(p *sim.Proc, src int, ackReq, ackRep uint64) {
+	ps := ep.peer(src)
+	for ch, ack := range [2]uint64{ackReq, ackRep} {
+		tc := &ps.tx[ch]
+		if ack <= tc.ackedSeq {
+			continue
+		}
+		tc.ackedSeq = ack
+		for len(tc.saved) > 0 && tc.saved[0].m.seq+tc.saved[0].m.span() <= ack {
+			tc.saved = tc.saved[1:]
+		}
+		if tc.hasNackRetx && tc.ackedSeq > tc.lastNackRetx {
+			tc.hasNackRetx = false
+		}
+		for len(tc.waitAck) > 0 {
+			op := tc.waitAck[0]
+			if !op.injected || tc.ackedSeq < op.lastSeq+op.span {
+				break
+			}
+			tc.waitAck = tc.waitAck[1:]
+			op.acked = true
+			// Only evict our own tracked op: get-data ops we serve for a
+			// peer carry the INITIATOR's id, which may coincide with one
+			// of our own in-flight ids.
+			if cur, ok := ep.ops[op.id]; ok && cur == op {
+				delete(ep.ops, op.id)
+			}
+			if op.onComplete != nil {
+				ep.inHandler = true
+				op.onComplete(p, ep)
+				ep.inHandler = false
+			}
+		}
+	}
+	// A probe was outstanding: if this ack leaves saved packets uncovered,
+	// the receiver never saw them — retransmit (keep-alive recovery, §2.2).
+	if ps.probed {
+		ps.probed = false
+		for ch := 0; ch < 2; ch++ {
+			tc := &ps.tx[ch]
+			if len(tc.saved) > 0 {
+				tc.retx = append(tc.retx[:0], tc.saved...)
+			}
+		}
+	}
+}
+
+// handleNack queues go-back-N retransmission of everything from the
+// receiver's expected sequence onward.
+func (ep *Endpoint) handleNack(src int, m *msg) {
+	tc := &ep.peer(src).tx[m.ch]
+	if tc.hasNackRetx && tc.lastNackRetx == m.seq && len(tc.retx) > 0 {
+		return // already retransmitting for this loss event
+	}
+	tc.retx = tc.retx[:0]
+	for _, sp := range tc.saved {
+		if sp.m.seq >= m.seq {
+			tc.retx = append(tc.retx, sp)
+		}
+	}
+	if len(tc.retx) > 0 {
+		tc.hasNackRetx = true
+		tc.lastNackRetx = m.seq
+	}
+}
+
+func (ep *Endpoint) handleSequenced(p *sim.Proc, src int, ps *peerState, m *msg, pkt *hw.Packet) {
+	rc := &ps.rx[m.ch]
+	switch {
+	case m.seq > rc.expect:
+		// A gap: something was dropped. NACK once per loss event, with a
+		// periodic refresh in case the nack or the retransmission burst was
+		// itself lost.
+		rc.badSince++
+		if rc.lastNacked != rc.expect || rc.badSince >= nackRefresh {
+			rc.lastNacked = rc.expect
+			rc.badSince = 0
+			ep.sendCtrl(p, src, kNack, rc.expect, m.ch)
+		}
+	case m.seq < rc.expect:
+		// Duplicate from a retransmission; re-ack so the sender can slide.
+		ep.Stats.Duplicates++
+		ps.forceAck = true
+	default:
+		rc.lastNacked = ^uint64(0)
+		rc.badSince = 0
+		if m.kind == kChunk {
+			ep.acceptChunkPacket(p, src, ps, rc, m, pkt)
+		} else {
+			rc.expect++
+			rc.unackedPkts++
+			ep.deliverShort(p, src, m)
+		}
+	}
+}
+
+// acceptChunkPacket reassembles the in-order chunk at rc.expect; packets
+// within a chunk share its sequence number and are ordered by offset
+// (paper §2.2).
+func (ep *Endpoint) acceptChunkPacket(p *sim.Proc, src int, ps *peerState, rc *rxChan, m *msg, pkt *hw.Packet) {
+	if rc.chunk == nil || rc.chunk.seq != m.seq {
+		rc.chunk = &rxChunk{seq: m.seq, need: m.chunkPkts, got: make([]bool, m.chunkPkts)}
+	}
+	c := rc.chunk
+	if c.got[m.pktIdx] {
+		ep.Stats.Duplicates++
+		return
+	}
+	c.got[m.pktIdx] = true
+	c.count++
+	if len(pkt.Data) > 0 {
+		dst := ep.node.Mem.Slice(m.daddr, len(pkt.Data))
+		copy(dst, pkt.Data)
+		ep.node.Memcpy(p, len(pkt.Data))
+	}
+	if !ep.sys.Opt.AckPerChunk {
+		// Ablation: the naive protocol acknowledges every data packet as
+		// it arrives instead of once per chunk.
+		ep.sendCtrl(p, src, kAck, 0, m.ch)
+	}
+	if c.count < c.need {
+		return
+	}
+	// Chunk complete: slide, schedule its (single) acknowledgement.
+	rc.chunk = nil
+	rc.expect += uint64(c.need)
+	rc.unackedPkts += c.need
+	if ep.sys.Opt.AckPerChunk {
+		ps.forceAck = true
+	}
+	if !m.final {
+		return
+	}
+	// Whole operation arrived.
+	base := hw.Addr{Seg: m.daddr.Seg, Off: m.daddr.Off - m.boff}
+	switch m.bk {
+	case bkStore:
+		if m.h != NoHandler {
+			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: true}, base, m.total, m.arg)
+		}
+	case bkGetData:
+		// We initiated this get; data is home.
+		if op, ok := ep.ops[m.op]; ok {
+			op.done = true
+			delete(ep.ops, m.op)
+		}
+		if m.h != NoHandler {
+			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: false}, base, m.total, m.arg)
+		}
+	}
+}
+
+func (ep *Endpoint) deliverShort(p *sim.Proc, src int, m *msg) {
+	switch m.kind {
+	case kRequest:
+		ep.runHandler(p, m.h, Token{Src: src, mayReply: true}, m.args[:m.nargs])
+	case kReply:
+		ep.runHandler(p, m.h, Token{Src: src, mayReply: false}, m.args[:m.nargs])
+	case kGetReq:
+		// Serve the get: stream our memory back on the reply channel. The
+		// op id is the initiator's, echoed on the data packets.
+		ep.node.ComputeUnscaled(p, costGetServe)
+		var srcData []byte
+		if m.nbytes > 0 {
+			srcData = ep.node.Mem.Slice(m.raddr, m.nbytes)
+		}
+		op := &bulkOp{
+			id: m.op, bk: bkGetData, dst: src, ch: chRep,
+			src: srcData, daddr: m.laddr, total: m.nbytes,
+			h: m.h, arg: m.args[0],
+		}
+		tc := &ep.peer(src).tx[chRep]
+		tc.q = append(tc.q, &txOp{bulk: op})
+	}
+}
+
+func (ep *Endpoint) runHandler(p *sim.Proc, h HandlerID, tok Token, args []uint32) {
+	if h == NoHandler {
+		return
+	}
+	fn := ep.handlers[h]
+	ep.node.ComputeUnscaled(p, costDispatch)
+	wasIn := ep.inHandler
+	ep.inHandler = true
+	fn(p, ep, tok, args)
+	ep.inHandler = wasIn
+}
+
+func (ep *Endpoint) runBulkHandler(p *sim.Proc, h HandlerID, tok Token, addr hw.Addr, n int, arg uint32) {
+	fn := ep.bulkHandlers[h]
+	ep.node.ComputeUnscaled(p, costDispatch)
+	wasIn := ep.inHandler
+	ep.inHandler = true
+	fn(p, ep, tok, addr, n, arg)
+	ep.inHandler = wasIn
+}
+
+// explicitAcks emits explicit acknowledgements where piggybacking did not
+// happen: after each completed chunk, and whenever a quarter of the window
+// of received packets is still unacknowledged (paper §2.2).
+func (ep *Endpoint) explicitAcks(p *sim.Proc) {
+	for id, ps := range ep.peers {
+		if id == ep.ID() {
+			continue
+		}
+		need := ps.forceAck ||
+			ps.rx[chReq].unackedPkts >= ep.sys.Opt.wndRequest()/4 ||
+			ps.rx[chRep].unackedPkts >= ep.sys.Opt.wndReply()/4
+		if need {
+			ep.sendCtrl(p, id, kAck, 0, chReq)
+		}
+	}
+}
+
+// keepAlive sends a probe to any peer with long-unacknowledged traffic; the
+// probe elicits an explicit ack, and an ack that fails to cover our saved
+// packets triggers retransmission (paper §2.2's keep-alive protocol).
+func (ep *Endpoint) keepAlive(p *sim.Proc) {
+	for id, ps := range ep.peers {
+		if id == ep.ID() {
+			continue
+		}
+		if len(ps.tx[chReq].saved) == 0 && len(ps.tx[chRep].saved) == 0 {
+			ps.emptyStreak = 0
+			continue
+		}
+		ps.emptyStreak++
+		if ps.emptyStreak >= keepAlivePolls {
+			ps.emptyStreak = 0
+			ps.probed = true
+			ep.sendCtrl(p, id, kProbe, 0, chReq)
+		}
+	}
+}

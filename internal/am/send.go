@@ -1,0 +1,394 @@
+package am
+
+import (
+	"fmt"
+
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// Request sends a short request of up to four words to dst and invokes
+// handler h there. As in the paper, each am_request polls the network once
+// after sending. Requests may not be issued from inside a handler.
+func (ep *Endpoint) Request(p *sim.Proc, dst int, h HandlerID, args ...uint32) {
+	ep.mustNotBeInHandler("Request")
+	ep.Stats.Requests++
+	m := ep.shortMsg(kRequest, chReq, h, args)
+	ep.sendShortBlocking(p, dst, m, costReqBuild+wordsCost(len(args)))
+	ep.Poll(p)
+}
+
+// Reply sends a short reply to the requester identified by tok. Replies are
+// only legal from request handlers, and each request may be replied to at
+// most once.
+func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) {
+	if !tok.mayReply {
+		panic("am: Reply outside a request handler, or replied twice")
+	}
+	ep.Stats.Replies++
+	m := ep.shortMsg(kReply, chRep, h, args)
+	ps := ep.peer(tok.Src)
+	ps.tx[chRep].q = append(ps.tx[chRep].q, &txOp{short: m})
+	// Best-effort injection; if the window or FIFO is full the reply stays
+	// queued and the surrounding Poll drains it later (handlers must not
+	// spin on the network).
+	ep.drainPeer(p, tok.Src)
+}
+
+// Store copies data into the remote block at (dst, raddr) and invokes bulk
+// handler h on dst when the transfer completes. It blocks until the source
+// memory is reusable, i.e. the final chunk has been acknowledged (§2.2: for
+// transfers beyond one chunk this is indistinguishable from StoreAsync).
+func (ep *Endpoint) Store(p *sim.Proc, dst int, raddr hw.Addr, data []byte, h HandlerID, arg uint32) {
+	op := ep.startStore(p, dst, raddr, data, h, arg, nil)
+	for !op.acked {
+		ep.Poll(p)
+	}
+}
+
+// StoreAsync is the non-blocking store: it returns after queueing the
+// transfer and calls onComplete (if non-nil) from a later Poll once the
+// source region is reusable.
+func (ep *Endpoint) StoreAsync(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
+	h HandlerID, arg uint32, onComplete CompletionFunc) {
+	ep.startStore(p, dst, raddr, data, h, arg, onComplete)
+}
+
+func (ep *Endpoint) startStore(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
+	h HandlerID, arg uint32, onComplete CompletionFunc) *bulkOp {
+	ep.mustNotBeInHandler("Store")
+	ep.Stats.Stores++
+	ep.node.ComputeUnscaled(p, costStoreSetup)
+	op := &bulkOp{
+		id: ep.opID(), bk: bkStore, dst: dst, ch: chReq,
+		src: data, daddr: raddr, total: len(data),
+		h: h, arg: arg, onComplete: onComplete,
+	}
+	ep.track(op)
+	ps := ep.peer(dst)
+	ps.tx[chReq].q = append(ps.tx[chReq].q, &txOp{bulk: op})
+	ep.drainPeer(p, dst)
+	// Stores are request-class operations: like am_request, every call
+	// polls the network once, which also keeps receive FIFOs drained
+	// during store bursts.
+	ep.Poll(p)
+	return op
+}
+
+// Get fetches nbytes from the remote block (dst, raddr) into the local
+// block laddr and blocks until the data has arrived; handler h (if not
+// NoHandler) is invoked locally on completion, matching am_get's semantics.
+func (ep *Endpoint) Get(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
+	h HandlerID, arg uint32) {
+	op := ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
+	for !op.done {
+		ep.Poll(p)
+	}
+}
+
+// GetAsync initiates the fetch and returns; h runs locally when the data
+// has fully arrived.
+func (ep *Endpoint) GetAsync(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
+	h HandlerID, arg uint32) {
+	ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
+}
+
+func (ep *Endpoint) startGet(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
+	h HandlerID, arg uint32) *bulkOp {
+	ep.mustNotBeInHandler("Get")
+	ep.Stats.Gets++
+	op := &bulkOp{
+		id: ep.opID(), bk: bkGetData, dst: ep.ID(), ch: chRep,
+		daddr: laddr, total: nbytes, h: h, arg: arg,
+	}
+	ep.track(op)
+	m := &msg{
+		kind: kGetReq, ch: chReq, op: op.id,
+		raddr: raddr, laddr: laddr, nbytes: nbytes,
+		h: h, args: [4]uint32{arg}, nargs: 1,
+	}
+	ep.sendShortBlocking(p, dst, m, costStoreSetup)
+	return op
+}
+
+// mustNotBeInHandler enforces the GAM handler restriction the paper leans
+// on in §4.1: handlers may only reply, never initiate requests or transfers.
+func (ep *Endpoint) mustNotBeInHandler(what string) {
+	if ep.inHandler {
+		panic(fmt.Sprintf("am: %s from inside a handler (handlers may only Reply)", what))
+	}
+}
+
+func (ep *Endpoint) opID() uint64 {
+	ep.nextOp++
+	return ep.nextOp
+}
+
+func (ep *Endpoint) track(op *bulkOp) {
+	if ep.ops == nil {
+		ep.ops = make(map[uint64]*bulkOp)
+	}
+	ep.ops[op.id] = op
+}
+
+func (ep *Endpoint) shortMsg(k kind, ch int, h HandlerID, args []uint32) *msg {
+	if len(args) > 4 {
+		panic("am: more than 4 argument words")
+	}
+	if int(h) < 0 {
+		panic("am: invalid handler id")
+	}
+	m := &msg{kind: k, ch: ch, h: h, nargs: len(args)}
+	copy(m.args[:], args)
+	return m
+}
+
+// sendShortBlocking queues m and polls until it has been injected (window
+// and FIFO space acquired); buildCost is the host build charge.
+func (ep *Endpoint) sendShortBlocking(p *sim.Proc, dst int, m *msg, buildCost sim.Time) {
+	op := &txOp{short: m}
+	op.shortBuild = buildCost
+	ps := ep.peer(dst)
+	ps.tx[m.ch].q = append(ps.tx[m.ch].q, op)
+	ep.drainPeer(p, dst)
+	for !op.injected {
+		ep.Poll(p)
+	}
+}
+
+// drainAll advances pending traffic to every peer.
+func (ep *Endpoint) drainAll(p *sim.Proc) {
+	for id := range ep.peers {
+		ep.drainPeer(p, id)
+	}
+}
+
+// drainPeer injects as much pending traffic to peer dst as the windows and
+// the send FIFO allow: retransmissions first (they are inside the window by
+// construction), then queued operations in order. One MicroChannel
+// length-array access is charged per drain that pushed anything (the
+// paper's batched-lengths optimization).
+func (ep *Endpoint) drainPeer(p *sim.Proc, dst int) {
+	ps := ep.peer(dst)
+	ad := ep.node.Adapter
+
+	for ch := 0; ch < 2; ch++ {
+		tc := &ps.tx[ch]
+		// Retransmissions: limited only by FIFO space.
+		for len(tc.retx) > 0 && ad.SendSpace() > 0 {
+			sp := tc.retx[0]
+			tc.retx = tc.retx[1:]
+			ep.injectSaved(p, dst, sp)
+			ep.maybeCommit(p, false)
+		}
+		// Fresh operations.
+		for len(tc.q) > 0 {
+			op := tc.q[0]
+			if op.short != nil {
+				if ad.SendSpace() < 1 || tc.inFlight()+1 > uint64(tc.wnd) {
+					break
+				}
+				ep.injectShort(p, dst, tc, op)
+				tc.q = tc.q[1:]
+				continue
+			}
+			// Bulk op: inject whole chunks while window+FIFO allow.
+			ep.injectBulkChunks(p, dst, tc, op.bulk)
+			if op.bulk.injected {
+				tc.q = tc.q[1:]
+				continue
+			}
+			break // chunk would not fit now; resume on a later poll
+		}
+	}
+	ep.maybeCommit(p, true)
+}
+
+// commitBatch is how many length-array slots are written per MicroChannel
+// access during bulk injection. Committing as packets are built (rather
+// than once per chunk) lets the adapter's DMA overlap the host's entry
+// building — the pipelining the paper's batched-lengths optimization
+// enables.
+const commitBatch = 8
+
+// maybeCommit writes the length array once commitBatch entries are staged,
+// or unconditionally when force is set, charging the MicroChannel access.
+func (ep *Endpoint) maybeCommit(p *sim.Proc, force bool) {
+	if ep.pendingCommit == 0 {
+		return
+	}
+	if force || ep.pendingCommit >= commitBatch {
+		ep.node.Adapter.CommitLengths(p)
+		ep.pendingCommit = 0
+	}
+}
+
+// stampAcks piggybacks cumulative acks for dst onto m and resets the
+// explicit-ack debt.
+func (ep *Endpoint) stampAcks(dst int, m *msg) {
+	ps := ep.peer(dst)
+	if ep.sys.Opt.PiggybackAcks || m.kind == kAck || m.kind == kNack {
+		m.ackReq = ps.rx[chReq].expect
+		m.ackRep = ps.rx[chRep].expect
+		m.hasAck = true
+		ps.rx[chReq].unackedPkts = 0
+		ps.rx[chRep].unackedPkts = 0
+		ps.forceAck = false
+	}
+}
+
+// injectShort pushes one short message, charging build + flush.
+func (ep *Endpoint) injectShort(p *sim.Proc, dst int, tc *txChan, op *txOp) {
+	m := op.short
+	m.seq = tc.nextSeq
+	tc.nextSeq++
+	build := op.shortBuild
+	if build == 0 {
+		build = ep.ctrlBuildCost(m)
+	}
+	wire := ep.shortWire(m)
+	ep.node.ComputeUnscaled(p, build)
+	ep.node.Flush(p, wire)
+	ep.stampAcks(dst, m)
+	ep.push(dst, m, nil, wire)
+	if m.kind != kAck && m.kind != kNack && m.kind != kProbe {
+		tc.saved = append(tc.saved, savedPkt{m: *m})
+	}
+	op.injected = true
+}
+
+func (ep *Endpoint) ctrlBuildCost(m *msg) sim.Time {
+	switch m.kind {
+	case kReply:
+		return costReplyBuild + wordsCost(m.nargs)
+	case kAck, kNack, kProbe:
+		return costCtrlBuild
+	default:
+		return costReqBuild + wordsCost(m.nargs)
+	}
+}
+
+func (ep *Endpoint) shortWire(m *msg) int {
+	switch m.kind {
+	case kRequest, kReply:
+		return shortWireBytes(m.nargs)
+	case kGetReq:
+		return hw.PacketHeaderSize + 16 // addresses + length
+	default:
+		return hw.PacketHeaderSize
+	}
+}
+
+// injectBulkChunks pushes as many whole chunks of op as fit; returns whether
+// anything was pushed.
+func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkOp) bool {
+	ad := ep.node.Adapter
+	pushed := false
+	for op.sent < op.total || (op.total == 0 && !op.injected) {
+		rem := op.total - op.sent
+		chunkBytes := rem
+		if chunkBytes > ChunkBytes {
+			chunkBytes = ChunkBytes
+		}
+		pkts := (chunkBytes + hw.PacketDataSize - 1) / hw.PacketDataSize
+		if pkts == 0 {
+			pkts = 1 // zero-byte store: a single header-only packet
+		}
+		if tc.inFlight()+uint64(pkts) > uint64(tc.wnd) || ad.SendSpace() < pkts {
+			return pushed
+		}
+		final := op.sent+chunkBytes >= op.total
+		seq := tc.nextSeq
+		tc.nextSeq += uint64(pkts)
+		for i := 0; i < pkts; i++ {
+			off := op.sent + i*hw.PacketDataSize
+			end := off + hw.PacketDataSize
+			if end > op.total {
+				end = op.total
+			}
+			var data []byte
+			if op.src != nil {
+				data = op.src[off:end]
+			}
+			m := &msg{
+				kind: kChunk, ch: op.ch, seq: seq, bk: op.bk, op: op.id,
+				daddr: hw.Addr{Seg: op.daddr.Seg, Off: op.daddr.Off + off},
+				total: op.total, chunkPkts: pkts, pktIdx: i, final: final,
+				h: op.h, arg: op.arg, boff: off,
+			}
+			wire := hw.PacketHeaderSize + len(data)
+			ep.node.ComputeUnscaled(p, costBulkPerPkt)
+			if len(data) > 0 {
+				ep.node.Memcpy(p, len(data)) // copy into the FIFO entry
+			}
+			ep.node.Flush(p, wire)
+			ep.stampAcks(dst, m)
+			ep.push(dst, m, data, wire)
+			tc.saved = append(tc.saved, savedPkt{m: *m, data: data})
+			ep.maybeCommit(p, false)
+		}
+		op.sent += chunkBytes
+		op.lastSeq = seq
+		op.span = uint64(pkts)
+		pushed = true
+		if final {
+			op.injected = true
+			tc.waitAck = append(tc.waitAck, op)
+			return pushed
+		}
+	}
+	return pushed
+}
+
+// injectSaved retransmits one saved packet (charging rebuild costs).
+func (ep *Endpoint) injectSaved(p *sim.Proc, dst int, sp savedPkt) {
+	ep.Stats.Retransmits++
+	m := sp.m // copy; re-stamp acks freshly
+	var wire int
+	if m.kind == kChunk {
+		wire = hw.PacketHeaderSize + len(sp.data)
+		ep.node.ComputeUnscaled(p, costBulkPerPkt)
+		if len(sp.data) > 0 {
+			ep.node.Memcpy(p, len(sp.data))
+		}
+	} else {
+		wire = ep.shortWire(&m)
+		ep.node.ComputeUnscaled(p, ep.ctrlBuildCost(&m))
+	}
+	ep.node.Flush(p, wire)
+	ep.stampAcks(dst, &m)
+	ep.push(dst, &m, sp.data, wire)
+}
+
+// push places the packet in the send FIFO (caller verified space).
+func (ep *Endpoint) push(dst int, m *msg, data []byte, wire int) {
+	ep.Stats.PacketsSent++
+	ep.Stats.BytesSent += int64(wire)
+	ep.pendingCommit++
+	pkt := &hw.Packet{Dst: dst, HdrBytes: wire - len(data), Data: data, Msg: m}
+	ep.node.Adapter.PushSend(pkt)
+}
+
+// sendCtrl queues and (best-effort) injects a control packet (ack, nack,
+// probe) to dst on the reply channel's FIFO path. Control packets carry no
+// sequence number and are never saved.
+func (ep *Endpoint) sendCtrl(p *sim.Proc, dst int, k kind, nackSeq uint64, ch int) {
+	ad := ep.node.Adapter
+	if ad.SendSpace() < 1 {
+		return // congested: drop the control packet; keep-alive recovers
+	}
+	m := &msg{kind: k, ch: ch, seq: nackSeq}
+	ep.node.ComputeUnscaled(p, costCtrlBuild)
+	ep.node.Flush(p, hw.PacketHeaderSize)
+	ep.stampAcks(dst, m)
+	ep.push(dst, m, nil, hw.PacketHeaderSize)
+	ep.maybeCommit(p, true)
+	switch k {
+	case kAck:
+		ep.Stats.AcksSent++
+	case kNack:
+		ep.Stats.NacksSent++
+	case kProbe:
+		ep.Stats.Probes++
+	}
+}

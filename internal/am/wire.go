@@ -1,0 +1,106 @@
+package am
+
+import "spam/internal/hw"
+
+// kind enumerates SP AM wire packet types.
+type kind uint8
+
+const (
+	kRequest kind = iota // short request, up to 4 words
+	kReply               // short reply, up to 4 words
+	kChunk               // bulk data packet (store data or get response data)
+	kGetReq              // control message asking the remote side to send data
+	kAck                 // explicit cumulative acknowledgement
+	kNack                // negative acknowledgement: go-back-N from Seq
+	kProbe               // keep-alive probe: elicits an explicit ack
+	kRaw                 // protocol-less packet (raw latency benchmark only)
+)
+
+func (k kind) String() string {
+	switch k {
+	case kRequest:
+		return "request"
+	case kReply:
+		return "reply"
+	case kChunk:
+		return "chunk"
+	case kGetReq:
+		return "getreq"
+	case kAck:
+		return "ack"
+	case kNack:
+		return "nack"
+	case kProbe:
+		return "probe"
+	case kRaw:
+		return "raw"
+	}
+	return "?"
+}
+
+// Channel indices: requests and replies travel in separate sequence spaces
+// with separate windows so replies can never be blocked behind request
+// congestion (paper §2.2).
+const (
+	chReq = 0
+	chRep = 1
+)
+
+// bulkKind distinguishes why a chunk packet is in flight.
+type bulkKind uint8
+
+const (
+	bkStore   bulkKind = iota // am_store / am_store_async data
+	bkGetData                 // data flowing back for an am_get
+)
+
+// msg is the decoded form of an SP AM packet header. It rides in
+// hw.Packet.Msg; payload bytes ride in hw.Packet.Data. All fields fit the
+// 32-byte header budget of the real implementation.
+type msg struct {
+	kind kind
+	ch   int    // sequence channel (chReq or chRep)
+	seq  uint64 // first sequence unit occupied by this message
+
+	// Piggybacked cumulative acks: count of packets received in order on
+	// each channel of the reverse direction.
+	ackReq, ackRep uint64
+	hasAck         bool
+
+	// Short messages.
+	h     HandlerID
+	nargs int
+	args  [4]uint32
+
+	// Bulk data packets.
+	bk        bulkKind
+	op        uint64  // bulk operation id, sender-scoped
+	daddr     hw.Addr // destination of this packet's payload
+	total     int     // total bytes in the whole operation
+	chunkPkts int     // packets in this packet's chunk (= its seq span)
+	pktIdx    int     // index of this packet within its chunk
+	boff      int     // byte offset of this packet's payload within the op
+	final     bool    // set on packets of the op's last chunk
+	arg       uint32  // user argument delivered to the bulk handler
+
+	// Get requests.
+	raddr  hw.Addr // remote (data source) address
+	laddr  hw.Addr // local (data sink) address at the requester
+	nbytes int
+}
+
+// span is the number of sequence units the message occupies: chunk packets
+// share their chunk's base seq and the chunk spans chunkPkts units.
+func (m *msg) span() uint64 {
+	if m.kind == kChunk {
+		return uint64(m.chunkPkts)
+	}
+	return 1
+}
+
+// headerBytes models the on-wire header size; everything fits the paper's
+// 32-byte header.
+func (m *msg) headerBytes() int { return hw.PacketHeaderSize }
+
+// shortWireBytes is the wire size of a short message with n argument words.
+func shortWireBytes(n int) int { return hw.PacketHeaderSize + 4*n }

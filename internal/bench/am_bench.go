@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spam/internal/am"
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// AMRoundTrip measures the SP AM ping-pong round-trip time for a
+// words-word message (paper §2.3): node 0 am_request's node 1, whose
+// handler am_reply's back. It returns microseconds per round trip averaged
+// over iters trips.
+func AMRoundTrip(words, iters int) float64 {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	var gotReply, done bool
+	replyH := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		gotReply = true
+	})
+	var pingH am.HandlerID
+	pingH = sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Reply(p, tok, replyH, args...)
+	})
+	doneH := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		done = true
+	})
+
+	args := make([]uint32, words)
+	var perRTT float64
+	c.Spawn(0, "pinger", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[0]
+		// Warm-up trip (first packet sees a cold pipeline).
+		gotReply = false
+		ep.Request(p, 1, pingH, args...)
+		for !gotReply {
+			ep.Poll(p)
+		}
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			gotReply = false
+			ep.Request(p, 1, pingH, args...)
+			for !gotReply {
+				ep.Poll(p)
+			}
+		}
+		perRTT = (p.Now() - t0).Microseconds() / float64(iters)
+		ep.Request(p, 1, doneH)
+	})
+	c.Spawn(1, "ponger", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[1]
+		for !done {
+			ep.Poll(p)
+		}
+	})
+	c.Run()
+	return perRTT
+}
+
+// RawRoundTrip measures the protocol-less ping-pong the paper uses as the
+// latency floor (§2.3).
+func RawRoundTrip(iters int) float64 {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	var perRTT float64
+	stop := false
+	c.Spawn(0, "pinger", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[0]
+		ep.RawSend(p, 1, 4)
+		for ep.RawRecv() == nil {
+			ep.Poll(p)
+		}
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			ep.RawSend(p, 1, 4)
+			for ep.RawRecv() == nil {
+				ep.Poll(p)
+			}
+		}
+		perRTT = (p.Now() - t0).Microseconds() / float64(iters)
+		stop = true
+		ep.RawSend(p, 1, 0) // release the ponger
+	})
+	c.Spawn(1, "ponger", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[1]
+		for !stop {
+			if ep.RawRecv() != nil {
+				ep.RawSend(p, 0, 4)
+			}
+			ep.Poll(p)
+		}
+	})
+	c.Run()
+	return perRTT
+}
+
+// RequestCost measures the host time of one am_request_N call on an
+// otherwise empty network (paper Table 2).
+func RequestCost(words int) float64 {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	nop := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {})
+	var cost float64
+	c.Spawn(0, "caller", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[0]
+		args := make([]uint32, words)
+		t0 := p.Now()
+		ep.Request(p, 1, nop, args...)
+		cost = (p.Now() - t0).Microseconds()
+	})
+	c.Spawn(1, "sink", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[1]
+		for i := 0; i < 40; i++ {
+			ep.Poll(p)
+		}
+	})
+	c.Run()
+	return cost
+}
+
+// ReplyCost measures the host time of one am_reply_N call, timed inside the
+// request handler (paper Table 2).
+func ReplyCost(words int) float64 {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	var cost float64
+	nop := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {})
+	echo := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		t0 := p.Now()
+		ep.Reply(p, tok, nop, args...)
+		cost = (p.Now() - t0).Microseconds()
+	})
+	done := false
+	c.Spawn(0, "caller", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[0]
+		ep.Request(p, 1, echo, make([]uint32, words)...)
+		for !done {
+			ep.Poll(p)
+			if ep.Stats.PacketsReceived > 0 {
+				done = true
+			}
+		}
+	})
+	c.Spawn(1, "replier", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[1]
+		for cost == 0 {
+			ep.Poll(p)
+		}
+	})
+	c.Run()
+	return cost
+}
+
+// BulkMode selects a Figure-3 bulk-transfer benchmark variant.
+type BulkMode int
+
+const (
+	// SyncStore issues blocking am_store's of n bytes back to back.
+	SyncStore BulkMode = iota
+	// SyncGet issues blocking am_get's of n bytes back to back.
+	SyncGet
+	// AsyncStore pipelines am_store_async's of n bytes (the paper's
+	// "pipelined asynchronous transfer": 1 MB moved in n-byte pieces).
+	AsyncStore
+	// AsyncGet pipelines am_get's without waiting for each.
+	AsyncGet
+)
+
+func (m BulkMode) String() string {
+	switch m {
+	case SyncStore:
+		return "sync store"
+	case SyncGet:
+		return "sync get"
+	case AsyncStore:
+		return "async store"
+	case AsyncGet:
+		return "async get"
+	}
+	return "?"
+}
+
+// AMBandwidth measures one-way delivered bandwidth moving total bytes in
+// n-byte operations with the given mode, in MB/s (paper §2.4, Figure 3).
+func AMBandwidth(mode BulkMode, n, total int) float64 {
+	if n > total {
+		total = n
+	}
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	doneH := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {})
+	var mbps float64
+	finished := false
+
+	// Destination (and get-source) region on node 1; local region on node 0.
+	remoteBuf := make([]byte, n)
+	localBuf := make([]byte, n)
+	var remoteSeg, localSeg int
+	remoteSeg = c.Nodes[1].Mem.Add(remoteBuf)
+	localSeg = c.Nodes[0].Mem.Add(localBuf)
+
+	ops := total / n
+	if ops == 0 {
+		ops = 1
+	}
+
+	c.Spawn(0, "mover", func(p *sim.Proc, n0 *hw.Node) {
+		ep := sys.EPs[0]
+		src := make([]byte, n)
+		raddr := hw.Addr{Seg: remoteSeg}
+		laddr := hw.Addr{Seg: localSeg}
+		t0 := p.Now()
+		switch mode {
+		case SyncStore:
+			for i := 0; i < ops; i++ {
+				ep.Store(p, 1, raddr, src, am.NoHandler, 0)
+			}
+		case SyncGet:
+			for i := 0; i < ops; i++ {
+				ep.Get(p, 1, raddr, laddr, n, am.NoHandler, 0)
+			}
+		case AsyncStore:
+			completed := 0
+			for i := 0; i < ops; i++ {
+				ep.StoreAsync(p, 1, raddr, src, am.NoHandler, 0,
+					func(q *sim.Proc, e *am.Endpoint) { completed++ })
+			}
+			for completed < ops {
+				ep.Poll(p)
+			}
+		case AsyncGet:
+			completed := 0
+			h := getCounter(sys, &completed)
+			for i := 0; i < ops; i++ {
+				ep.GetAsync(p, 1, raddr, laddr, n, h, 0)
+			}
+			for completed < ops {
+				ep.Poll(p)
+			}
+		}
+		elapsed := (p.Now() - t0).Seconds()
+		mbps = float64(ops*n) / 1e6 / elapsed
+		finished = true
+		ep.Request(p, 1, doneH)
+	})
+	c.Spawn(1, "peer", func(p *sim.Proc, n1 *hw.Node) {
+		ep := sys.EPs[1]
+		for !finished {
+			ep.Poll(p)
+		}
+		// Drain the final done request so no traffic is left hanging.
+		for i := 0; i < 20; i++ {
+			ep.Poll(p)
+		}
+	})
+	c.Run()
+	return mbps
+}
+
+// getCounter registers a bulk handler that increments *n on each completed
+// get. Registration happens lazily per system, which is safe because these
+// micro-benchmarks build a fresh cluster per measurement.
+func getCounter(sys *am.System, n *int) am.HandlerID {
+	return sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, nb int, arg uint32) {
+		*n++
+	})
+}
+
+// ProtocolStats runs a mixed 4-node workload (requests, stores, gets)
+// with mild packet loss and writes the per-node protocol counters and
+// switch-port utilization — the quantities the paper's §2 analysis leans
+// on (retransmissions, explicit acks, wasted polls).
+func ProtocolStats(w io.Writer) {
+	const nn = 4
+	c := hw.NewCluster(hw.DefaultConfig(nn))
+	sys := am.New(c)
+	rng := sim.NewRand(123)
+	c.Switch.Fault = func(pkt *hw.Packet) bool { return rng.Intn(200) == 0 }
+
+	h := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {})
+	bh := sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {})
+	segs := make([]int, nn)
+	for i, nd := range c.Nodes {
+		segs[i] = nd.Mem.Add(make([]byte, 1<<16))
+	}
+	done := 0
+	for i := 0; i < nn; i++ {
+		i := i
+		wr := sim.NewRand(uint64(i) + 5)
+		c.Spawn(i, "mix", func(p *sim.Proc, nd *hw.Node) {
+			ep := sys.EPs[i]
+			for op := 0; op < 200; op++ {
+				dst := (i + 1 + wr.Intn(nn-1)) % nn
+				switch wr.Intn(3) {
+				case 0:
+					ep.Request(p, dst, h, uint32(op))
+				case 1:
+					ep.Store(p, dst, hw.Addr{Seg: segs[dst], Off: wr.Intn(1 << 15)},
+						make([]byte, 64+wr.Intn(4000)), bh, 0)
+				case 2:
+					ep.Get(p, dst, hw.Addr{Seg: segs[dst], Off: wr.Intn(1 << 15)},
+						hw.Addr{Seg: segs[i], Off: wr.Intn(1 << 15)}, 64+wr.Intn(2000),
+						am.NoHandler, 0)
+				}
+			}
+			done++
+			for done < nn {
+				ep.Poll(p)
+			}
+		})
+	}
+	c.Run()
+	fmt.Fprintf(w, "# protocol statistics: 4 nodes x 200 mixed ops, 0.5%% packet loss, t=%v\n", c.Eng.Now())
+	sys.Report(w)
+}
+
+// amStoreRingLatency measures the bare am_store per-hop time around a
+// 4-node ring — the lower-bound series of Figures 8 and 10.
+func amStoreRingLatency(size int, wide bool) float64 {
+	const ringN = 4
+	const laps = 5
+	cfg := hw.DefaultConfig(ringN)
+	if wide {
+		cfg = hw.WideConfig(ringN)
+	}
+	c := hw.NewCluster(cfg)
+	sys := am.New(c)
+	counts := make([]int, ringN)
+	h := sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {
+		counts[ep.ID()]++
+	})
+	segs := make([]int, ringN)
+	for i, nd := range c.Nodes {
+		segs[i] = nd.Mem.Add(make([]byte, size))
+	}
+	var perHop float64
+	for i := 0; i < ringN; i++ {
+		i := i
+		c.Spawn(i, "amring", func(p *sim.Proc, nd *hw.Node) {
+			ep := sys.EPs[i]
+			next := (i + 1) % ringN
+			data := make([]byte, size)
+			forward := func() {
+				ep.Store(p, next, hw.Addr{Seg: segs[next]}, data, h, 0)
+			}
+			waitFor := func(k int) {
+				for counts[i] < k {
+					ep.Poll(p)
+				}
+			}
+			if i == 0 {
+				forward() // warm-up lap
+				waitFor(1)
+				t0 := p.Now()
+				for l := 0; l < laps; l++ {
+					forward()
+					waitFor(l + 2)
+				}
+				perHop = (p.Now() - t0).Microseconds() / float64(laps*ringN)
+			} else {
+				for l := 0; l < laps+1; l++ {
+					waitFor(l + 1)
+					forward()
+				}
+			}
+		})
+	}
+	c.Run()
+	return perHop
+}
+
+// AMBandwidthCurve sweeps message sizes and returns the Figure-3 curve for
+// one mode; total is the bytes moved per measurement (the paper uses 1 MB).
+func AMBandwidthCurve(mode BulkMode, sizes []int, total int) Curve {
+	c := Curve{Name: "AM " + mode.String()}
+	for _, n := range sizes {
+		c.Points = append(c.Points, Point{N: n, MBps: AMBandwidth(mode, n, total)})
+	}
+	return c
+}

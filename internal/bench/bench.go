@@ -1,0 +1,108 @@
+// Package bench is the measurement harness: it builds clusters, runs the
+// paper's micro-benchmarks (ping-pong round trips, one-way bandwidth
+// sweeps), and extracts the derived metrics (asymptotic bandwidth r∞ and
+// half-power point n½) exactly the way the paper's Section 2 does.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point is one (message size, rate) sample of a bandwidth curve.
+type Point struct {
+	N    int     // message size in bytes
+	MBps float64 // delivered payload bandwidth, MB/s (1 MB = 1e6 bytes)
+}
+
+// Curve is a bandwidth-vs-size series.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// RInf returns the asymptotic bandwidth: the maximum sampled rate (the
+// curves are monotone up to noise, so this matches the paper's r∞).
+func (c Curve) RInf() float64 {
+	best := 0.0
+	for _, pt := range c.Points {
+		if pt.MBps > best {
+			best = pt.MBps
+		}
+	}
+	return best
+}
+
+// NHalf returns the half-power point: the transfer size at which the rate
+// first reaches half of r∞, linearly interpolated between samples.
+func (c Curve) NHalf() float64 {
+	half := c.RInf() / 2
+	pts := append([]Point(nil), c.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+	for i, pt := range pts {
+		if pt.MBps >= half {
+			if i == 0 {
+				return float64(pt.N)
+			}
+			lo, hi := pts[i-1], pt
+			frac := (half - lo.MBps) / (hi.MBps - lo.MBps)
+			return float64(lo.N) + frac*float64(hi.N-lo.N)
+		}
+	}
+	return float64(pts[len(pts)-1].N)
+}
+
+// SizesLog returns a size sweep from lo to hi inclusive, doubling, in the
+// spirit of the paper's 16 B–1 MB sweeps.
+func SizesLog(lo, hi int) []int {
+	var out []int
+	for n := lo; n < hi; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, hi)
+}
+
+// PrintCurves writes curves as an aligned table (one row per size), the
+// format the cmd tools use to regenerate the paper's figures.
+func PrintCurves(w io.Writer, title string, curves []Curve) {
+	fmt.Fprintf(w, "# %s\n", title)
+	sizes := map[int]bool{}
+	for _, c := range curves {
+		for _, pt := range c.Points {
+			sizes[pt.N] = true
+		}
+	}
+	var ns []int
+	for n := range sizes {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	fmt.Fprintf(w, "%10s", "bytes")
+	for _, c := range curves {
+		fmt.Fprintf(w, " %22s", c.Name)
+	}
+	fmt.Fprintln(w)
+	for _, n := range ns {
+		fmt.Fprintf(w, "%10d", n)
+		for _, c := range curves {
+			v := -1.0
+			for _, pt := range c.Points {
+				if pt.N == n {
+					v = pt.MBps
+					break
+				}
+			}
+			if v < 0 {
+				fmt.Fprintf(w, " %22s", "-")
+			} else {
+				fmt.Fprintf(w, " %22.2f", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, c := range curves {
+		fmt.Fprintf(w, "# %-24s r_inf = %6.2f MB/s   n_1/2 = %6.0f bytes\n",
+			c.Name, c.RInf(), c.NHalf())
+	}
+}

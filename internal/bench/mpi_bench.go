@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/mpif"
+	"spam/internal/sim"
+)
+
+// MPIImpl selects one of the MPI configurations the paper plots in
+// Figures 7–11.
+type MPIImpl int
+
+const (
+	// AMStoreRaw is the bare am_store lower bound shown on Figures 8–11.
+	AMStoreRaw MPIImpl = iota
+	// MPIAMUnopt is MPICH-over-AM before the §4.2 optimizations.
+	MPIAMUnopt
+	// MPIAMOpt is the optimized MPI-AM.
+	MPIAMOpt
+	// MPIF is the vendor MPI model.
+	MPIF
+	// MPIBufferedOnly, MPIRdvOnly, MPIHybrid are the Figure-7 protocol
+	// isolates.
+	MPIBufferedOnly
+	MPIRdvOnly
+	MPIHybrid
+)
+
+func (m MPIImpl) String() string {
+	switch m {
+	case AMStoreRaw:
+		return "am_store"
+	case MPIAMUnopt:
+		return "unoptimized AM MPI"
+	case MPIAMOpt:
+		return "optimized AM MPI"
+	case MPIF:
+		return "MPI-F"
+	case MPIBufferedOnly:
+		return "buffered"
+	case MPIRdvOnly:
+		return "rendezvous"
+	case MPIHybrid:
+		return "hybrid buffered/rendezvous"
+	}
+	return "?"
+}
+
+func (m MPIImpl) options() mpi.Options {
+	switch m {
+	case MPIAMUnopt:
+		return mpi.Unoptimized()
+	case MPIAMOpt:
+		return mpi.Optimized()
+	case MPIBufferedOnly:
+		return mpi.Options{Optimized: false, PerPeerBuf: 16 << 10, BufferedMax: 16 << 10, RdvSlots: 128}
+	case MPIRdvOnly:
+		return mpi.Options{Optimized: false, PerPeerBuf: 16 << 10, BufferedMax: 0, RdvSlots: 128}
+	case MPIHybrid:
+		return mpi.Options{Optimized: true, PerPeerBuf: 16 << 10, BufferedMax: 4 << 10, HybridPrefix: 4 << 10, RdvSlots: 128}
+	}
+	panic("bench: no mpi options for " + m.String())
+}
+
+// ptRanks builds a cluster and the chosen MPI on it, returning the PT per
+// rank.
+func ptRanks(n int, impl MPIImpl, wide bool) (*hw.Cluster, []mpi.PT) {
+	cfg := hw.DefaultConfig(n)
+	if wide {
+		cfg = hw.WideConfig(n)
+	}
+	cluster := hw.NewCluster(cfg)
+	var pts []mpi.PT
+	if impl == MPIF {
+		sys := mpif.New(cluster)
+		for _, c := range sys.Comms {
+			pts = append(pts, c)
+		}
+	} else {
+		sys := mpi.New(cluster, impl.options())
+		for _, c := range sys.Comms {
+			pts = append(pts, c)
+		}
+	}
+	return cluster, pts
+}
+
+// MPIRingLatency measures the paper's Figures 8/10 metric: messages of
+// size bytes sent around a 4-node ring with MPI_Send/MPI_Recv, reported as
+// microseconds per hop.
+func MPIRingLatency(impl MPIImpl, size int, wide bool) float64 {
+	const ringN = 4
+	const laps = 5
+	if impl == AMStoreRaw {
+		return amStoreRingLatency(size, wide)
+	}
+	cluster, pts := ptRanks(ringN, impl, wide)
+	var perHop float64
+	for i := 0; i < ringN; i++ {
+		i := i
+		c := pts[i]
+		cluster.Spawn(i, "ring", func(p *sim.Proc, nd *hw.Node) {
+			next := (i + 1) % ringN
+			prev := (i + ringN - 1) % ringN
+			buf := make([]byte, size)
+			if i == 0 {
+				// Warm-up lap, then timed laps.
+				c.SendB(p, buf, next, 1)
+				c.RecvB(p, buf, prev, 1)
+				t0 := p.Now()
+				for l := 0; l < laps; l++ {
+					c.SendB(p, buf, next, 1)
+					c.RecvB(p, buf, prev, 1)
+				}
+				perHop = (p.Now() - t0).Microseconds() / float64(laps*ringN)
+			} else {
+				for l := 0; l < laps+1; l++ {
+					c.RecvB(p, buf, prev, 1)
+					c.SendB(p, buf, next, 1)
+				}
+			}
+		})
+	}
+	cluster.Run()
+	return perHop
+}
+
+// MPIBandwidth measures point-to-point one-way bandwidth (Figures 7/9/11):
+// total bytes moved in size-byte messages with a window of nonblocking
+// operations, in MB/s.
+func MPIBandwidth(impl MPIImpl, size, total int, wide bool) float64 {
+	if impl == AMStoreRaw {
+		// Thin-node am_store bound comes straight from the AM benchmark.
+		return AMBandwidth(AsyncStore, size, total)
+	}
+	if size > total {
+		total = size
+	}
+	msgs := total / size
+	if msgs == 0 {
+		msgs = 1
+	}
+	const window = 8
+	cluster, pts := ptRanks(2, impl, wide)
+	var mbps float64
+	tx, rx := pts[0], pts[1]
+	cluster.Spawn(0, "tx", func(p *sim.Proc, nd *hw.Node) {
+		data := make([]byte, size)
+		ack := make([]byte, 0)
+		t0 := p.Now()
+		sent := 0
+		for sent < msgs {
+			batch := window
+			if msgs-sent < batch {
+				batch = msgs - sent
+			}
+			reqs := make([]mpi.Req, 0, batch)
+			for k := 0; k < batch; k++ {
+				reqs = append(reqs, tx.IsendR(p, data, 1, 7))
+			}
+			for _, r := range reqs {
+				tx.WaitR(p, r)
+			}
+			sent += batch
+		}
+		tx.RecvB(p, ack, 1, 8) // delivery confirmation
+		mbps = float64(msgs*size) / 1e6 / (p.Now() - t0).Seconds()
+	})
+	cluster.Spawn(1, "rx", func(p *sim.Proc, nd *hw.Node) {
+		buf := make([]byte, size*window)
+		got := 0
+		for got < msgs {
+			batch := window
+			if msgs-got < batch {
+				batch = msgs - got
+			}
+			reqs := make([]mpi.Req, 0, batch)
+			for k := 0; k < batch; k++ {
+				reqs = append(reqs, rx.IrecvR(p, buf[k*size:(k+1)*size], 0, 7))
+			}
+			for _, r := range reqs {
+				rx.WaitR(p, r)
+			}
+			got += batch
+		}
+		rx.SendB(p, nil, 0, 8)
+	})
+	cluster.Run()
+	return mbps
+}
+
+// MPIHybridPrefixBandwidth measures MPI-AM bandwidth at one message size
+// with an explicit hybrid-prefix setting (0 disables the hybrid protocol),
+// for the prefix-size ablation.
+func MPIHybridPrefixBandwidth(prefix, size, total int) float64 {
+	opt := mpi.Options{Optimized: true, PerPeerBuf: 16 << 10, BufferedMax: 8 << 10,
+		HybridPrefix: prefix, RdvSlots: 128}
+	cluster := hw.NewCluster(hw.DefaultConfig(2))
+	sys := mpi.New(cluster, opt)
+	msgs := total / size
+	var mbps float64
+	tx, rx := sys.Comms[0], sys.Comms[1]
+	cluster.Spawn(0, "tx", func(p *sim.Proc, nd *hw.Node) {
+		data := make([]byte, size)
+		t0 := p.Now()
+		for i := 0; i < msgs; i++ {
+			tx.Send(p, data, 1, 7)
+		}
+		tx.Recv(p, nil, 1, 8)
+		mbps = float64(msgs*size) / 1e6 / (p.Now() - t0).Seconds()
+	})
+	cluster.Spawn(1, "rx", func(p *sim.Proc, nd *hw.Node) {
+		buf := make([]byte, size)
+		for i := 0; i < msgs; i++ {
+			rx.Recv(p, buf, 0, 7)
+		}
+		rx.Send(p, nil, 0, 8)
+	})
+	cluster.Run()
+	return mbps
+}
+
+// MPILatencyCurve sweeps Figure 8/10 sizes for one implementation.
+func MPILatencyCurve(impl MPIImpl, sizes []int, wide bool) Curve {
+	c := Curve{Name: impl.String()}
+	for _, n := range sizes {
+		c.Points = append(c.Points, Point{N: n, MBps: MPIRingLatency(impl, n, wide)})
+	}
+	return c
+}
+
+// MPIBandwidthCurve sweeps Figure 7/9/11 sizes for one implementation.
+func MPIBandwidthCurve(impl MPIImpl, sizes []int, total int, wide bool) Curve {
+	c := Curve{Name: impl.String()}
+	for _, n := range sizes {
+		c.Points = append(c.Points, Point{N: n, MBps: MPIBandwidth(impl, n, total, wide)})
+	}
+	return c
+}

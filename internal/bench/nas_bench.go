@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/mpif"
+	"spam/internal/nas"
+)
+
+// NASConfig sizes the Table-6 run.
+type NASConfig struct {
+	NProcs int
+	FT     nas.FTConfig
+	MG     nas.MGConfig
+	LU     nas.LUConfig
+	BT     nas.ADIConfig
+	SP     nas.ADIConfig
+}
+
+// PaperNAS returns the scaled-class configuration for the 16-node run
+// (Class A sizes and iteration counts are scaled as documented per kernel).
+func PaperNAS() NASConfig {
+	return NASConfig{
+		NProcs: 16,
+		FT:     nas.DefaultFT(),
+		MG:     nas.DefaultMG(),
+		LU:     nas.DefaultLU(),
+		BT:     nas.DefaultBT(),
+		SP:     nas.DefaultSP(),
+	}
+}
+
+// QuickNAS returns a small configuration for tests.
+func QuickNAS() NASConfig {
+	return NASConfig{
+		NProcs: 4,
+		FT:     nas.FTConfig{N: 16, Iters: 2},
+		MG:     nas.MGConfig{N: 32, Iters: 2, Levels: 2},
+		LU:     nas.LUConfig{N: 16, Iters: 5},
+		BT:     nas.ADIConfig{Name: "BT", N: 16, Iters: 5, FlopsPerPoint: 250, FacesPerSweep: 2},
+		SP:     nas.ADIConfig{Name: "SP", N: 16, Iters: 10, FlopsPerPoint: 120, FacesPerSweep: 3},
+	}
+}
+
+// NASRow is one Table-6 row.
+type NASRow struct {
+	Bench          string
+	MPIF, MPIAM    float64 // seconds
+	ChecksumsAgree bool
+}
+
+// RunNAS executes every kernel on MPI-F and MPI-AM (optimized) and returns
+// the Table-6 rows.
+func RunNAS(cfg NASConfig) []NASRow {
+	kernels := []struct {
+		name string
+		k    nas.Kernel
+	}{
+		{"BT", nas.ADI(cfg.BT)},
+		{"FT", nas.FT(cfg.FT)},
+		{"LU", nas.LU(cfg.LU)},
+		{"MG", nas.MG(cfg.MG)},
+		{"SP", nas.ADI(cfg.SP)},
+	}
+	var rows []NASRow
+	for _, kk := range kernels {
+		f := runNASOn(cfg.NProcs, true, kk.name, kk.k)
+		a := runNASOn(cfg.NProcs, false, kk.name, kk.k)
+		rows = append(rows, NASRow{
+			Bench: kk.name, MPIF: f.Seconds, MPIAM: a.Seconds,
+			ChecksumsAgree: f.Checksum == a.Checksum,
+		})
+	}
+	return rows
+}
+
+func runNASOn(n int, useMPIF bool, bench string, k nas.Kernel) nas.Result {
+	cluster := hw.NewCluster(hw.DefaultConfig(n))
+	var pts []mpi.PT
+	impl := "MPI-AM"
+	if useMPIF {
+		impl = "MPI-F"
+		sys := mpif.New(cluster)
+		for _, c := range sys.Comms {
+			pts = append(pts, c)
+		}
+	} else {
+		sys := mpi.New(cluster, mpi.Optimized())
+		for _, c := range sys.Comms {
+			pts = append(pts, c)
+		}
+	}
+	return nas.Run(cluster, pts, bench, impl, k)
+}
+
+// PrintNAS writes the Table-6 analogue.
+func PrintNAS(w io.Writer, rows []NASRow, nprocs int) {
+	fmt.Fprintf(w, "# Table 6: NAS kernels (scaled class) on %d thin nodes, seconds\n", nprocs)
+	fmt.Fprintf(w, "%-10s %10s %10s %8s %10s\n", "benchmark", "MPI-F", "MPI-AM", "ratio", "verified")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10.3f %10.3f %8.2f %10v\n",
+			r.Bench, r.MPIF, r.MPIAM, r.MPIAM/r.MPIF, r.ChecksumsAgree)
+	}
+}

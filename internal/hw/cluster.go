@@ -1,0 +1,86 @@
+package hw
+
+import (
+	"fmt"
+
+	"spam/internal/sim"
+)
+
+// Cluster wires N nodes, their adapters, and a switch onto one simulation
+// engine. It is the root object every experiment starts from.
+type Cluster struct {
+	Eng    *sim.Engine
+	Nodes  []*Node
+	Switch *Switch
+}
+
+// Config selects the hardware variant for a cluster.
+type Config struct {
+	NumNodes int
+	Node     NodeParams
+	Adapter  AdapterParams
+	Switch   SwitchParams
+	Seed     uint64
+}
+
+// DefaultConfig returns an n-node thin-node SP, the machine of most of the
+// paper's measurements.
+func DefaultConfig(n int) Config {
+	return Config{
+		NumNodes: n,
+		Node:     ThinNode(),
+		Adapter:  DefaultAdapter(),
+		Switch:   DefaultSwitch(),
+		Seed:     1,
+	}
+}
+
+// WideConfig returns an n-node wide-node SP (Figures 10–11).
+func WideConfig(n int) Config {
+	c := DefaultConfig(n)
+	c.Node = WideNode()
+	return c
+}
+
+// NewCluster builds the cluster described by cfg.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.NumNodes < 1 {
+		panic(fmt.Sprintf("hw: cluster needs at least 1 node, got %d", cfg.NumNodes))
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	c := &Cluster{
+		Eng:    eng,
+		Switch: NewSwitch(eng, cfg.NumNodes, cfg.Switch),
+	}
+	for i := 0; i < cfg.NumNodes; i++ {
+		n := &Node{ID: i, Eng: eng, P: cfg.Node, Mem: &Memory{}}
+		n.Adapter = newTB2(n, c.Switch, cfg.Adapter, cfg.NumNodes)
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// Spawn starts fn as node id's program (a workload process).
+func (c *Cluster) Spawn(id int, name string, fn func(p *sim.Proc, n *Node)) {
+	n := c.Nodes[id]
+	c.Eng.Go(fmt.Sprintf("n%d:%s", id, name), func(p *sim.Proc) { fn(p, n) })
+}
+
+// SpawnAll starts fn on every node, SPMD style.
+func (c *Cluster) SpawnAll(name string, fn func(p *sim.Proc, n *Node)) {
+	for i := range c.Nodes {
+		c.Spawn(i, name, fn)
+	}
+}
+
+// Run drives the simulation to completion, panicking on deadlock.
+func (c *Cluster) Run() { c.Eng.RunAll() }
+
+// DroppedPackets totals receive-FIFO overflow drops across nodes.
+func (c *Cluster) DroppedPackets() int64 {
+	var d int64
+	for _, n := range c.Nodes {
+		d += n.Adapter.DroppedOverflow
+	}
+	return d
+}

@@ -1,0 +1,380 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spam/internal/sim"
+)
+
+func twoNodes(t *testing.T) *Cluster {
+	t.Helper()
+	return NewCluster(DefaultConfig(2))
+}
+
+func TestPacketWireBytes(t *testing.T) {
+	p := &Packet{HdrBytes: PacketHeaderSize, Data: make([]byte, PacketDataSize)}
+	if p.WireBytes() != FIFOEntryBytes {
+		t.Fatalf("full packet = %d wire bytes, want %d", p.WireBytes(), FIFOEntryBytes)
+	}
+	small := &Packet{HdrBytes: 32, Data: make([]byte, 4)}
+	if small.WireBytes() != 36 {
+		t.Fatalf("small packet = %d, want 36", small.WireBytes())
+	}
+}
+
+func TestPacketTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized packet did not panic")
+		}
+	}()
+	p := &Packet{HdrBytes: 64, Data: make([]byte, PacketDataSize)}
+	p.WireBytes()
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	c := twoNodes(t)
+	var arrived *Packet
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: "hello"})
+		n.Adapter.CommitLengths(p)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *Node) {
+		for n.Adapter.RecvPeek() == nil {
+			p.Advance(US(1))
+		}
+		arrived = n.Adapter.RecvPop()
+	})
+	c.Run()
+	if arrived == nil || arrived.Msg != "hello" || arrived.Src != 0 {
+		t.Fatalf("bad delivery: %+v", arrived)
+	}
+}
+
+func TestDeliveryOrderPreserved(t *testing.T) {
+	c := twoNodes(t)
+	const n = 50
+	var got []int
+	c.Spawn(0, "tx", func(p *sim.Proc, nd *Node) {
+		for i := 0; i < n; i++ {
+			for nd.Adapter.SendSpace() == 0 {
+				p.Advance(US(1))
+			}
+			nd.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: i})
+			nd.Adapter.CommitLengths(p)
+		}
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, nd *Node) {
+		for len(got) < n {
+			if nd.Adapter.RecvPeek() == nil {
+				p.Advance(US(1))
+				continue
+			}
+			got = append(got, nd.Adapter.RecvPop().Msg.(int))
+		}
+	})
+	c.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSendFIFOBackpressure(t *testing.T) {
+	c := twoNodes(t)
+	nd := c.Nodes[0]
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		for i := 0; i < SendFIFOEntries; i++ {
+			n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
+		}
+		if n.Adapter.SendSpace() != 0 {
+			t.Errorf("space = %d after filling, want 0", n.Adapter.SendSpace())
+		}
+		n.Adapter.CommitLengths(p)
+		// Entries free as the adapter DMAs them out.
+		for n.Adapter.SendSpace() < SendFIFOEntries {
+			p.Advance(US(5))
+		}
+	})
+	// Drain receiver so nothing is artificially stuck.
+	c.Spawn(1, "rx", func(p *sim.Proc, n *Node) {
+		seen := 0
+		for seen < SendFIFOEntries {
+			if n.Adapter.RecvPeek() == nil {
+				p.Advance(US(1))
+				continue
+			}
+			n.Adapter.RecvPop()
+			seen++
+		}
+	})
+	c.Run()
+	if nd.Adapter.SendSpace() != SendFIFOEntries {
+		t.Fatalf("send FIFO not drained: space=%d", nd.Adapter.SendSpace())
+	}
+}
+
+func TestPushWithoutSpacePanics(t *testing.T) {
+	c := twoNodes(t)
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		defer func() {
+			if recover() == nil {
+				t.Error("overfilling send FIFO did not panic")
+			}
+		}()
+		for i := 0; i <= SendFIFOEntries; i++ {
+			n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
+		}
+	})
+	c.Run()
+}
+
+func TestRecvFIFOOverflowDrops(t *testing.T) {
+	c := twoNodes(t)
+	// Receiver never polls: its FIFO (64 entries/node x 2 nodes) must
+	// overflow once the sender has pushed more than its capacity.
+	total := RecvFIFOPerNode*2 + 40
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		for i := 0; i < total; i++ {
+			for n.Adapter.SendSpace() == 0 {
+				p.Advance(US(1))
+			}
+			n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Data: make([]byte, 64)})
+			n.Adapter.CommitLengths(p)
+		}
+		p.Advance(US(5000))
+	})
+	c.Run()
+	ad := c.Nodes[1].Adapter
+	if ad.DroppedOverflow != 40 {
+		t.Fatalf("dropped %d, want 40 (delivered %d)", ad.DroppedOverflow, ad.Delivered)
+	}
+	if ad.RecvLen() != RecvFIFOPerNode*2 {
+		t.Fatalf("FIFO holds %d, want %d", ad.RecvLen(), RecvFIFOPerNode*2)
+	}
+}
+
+func TestSwitchFaultInjection(t *testing.T) {
+	c := twoNodes(t)
+	k := 0
+	c.Switch.Fault = func(pkt *Packet) bool {
+		k++
+		return k%2 == 0 // drop every other packet
+	}
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		for i := 0; i < 10; i++ {
+			for n.Adapter.SendSpace() == 0 {
+				p.Advance(US(1))
+			}
+			n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
+			n.Adapter.CommitLengths(p)
+		}
+		p.Advance(US(1000))
+	})
+	c.Run()
+	if c.Switch.Lost != 5 {
+		t.Fatalf("lost %d, want 5", c.Switch.Lost)
+	}
+	if got := c.Nodes[1].Adapter.Delivered; got != 5 {
+		t.Fatalf("delivered %d, want 5", got)
+	}
+}
+
+func TestLatencySmallPacketOneWay(t *testing.T) {
+	// A small packet's unloaded one-way adapter-to-adapter time should be
+	// SendProc + DMAout + link + latency + link + RecvProc + DMAin. With the
+	// calibrated constants this lands in the mid-teens of microseconds —
+	// the "high network latency" the paper attributes to the interface.
+	c := twoNodes(t)
+	var sent, recvd sim.Time
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		sent = p.Now()
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Data: make([]byte, 16)})
+		n.Adapter.CommitLengthsFree()
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *Node) {
+		for n.Adapter.RecvPeek() == nil {
+			p.Advance(100) // 0.1us poll granularity
+		}
+		recvd = p.Now()
+	})
+	c.Run()
+	oneWay := (recvd - sent).Microseconds()
+	if oneWay < 12 || oneWay > 20 {
+		t.Fatalf("one-way small-packet time %.2fus, want 12-20us", oneWay)
+	}
+}
+
+func TestFullDuplexLinksDontInterfere(t *testing.T) {
+	// Streams in opposite directions should not slow each other down:
+	// injection and ejection are separate ports.
+	run := func(bidir bool) sim.Time {
+		c := twoNodes(t)
+		const pkts = 200
+		stream := func(from, to int) {
+			c.Spawn(from, "tx", func(p *sim.Proc, n *Node) {
+				for i := 0; i < pkts; i++ {
+					for n.Adapter.SendSpace() == 0 {
+						p.Advance(US(1))
+					}
+					n.Adapter.PushSend(&Packet{Dst: to, HdrBytes: 32, Data: make([]byte, PacketDataSize)})
+					n.Adapter.CommitLengths(p)
+				}
+			})
+			c.Spawn(to, "rx", func(p *sim.Proc, n *Node) {
+				seen := 0
+				for seen < pkts {
+					if n.Adapter.RecvPeek() == nil {
+						p.Advance(US(1))
+						continue
+					}
+					n.Adapter.RecvPop()
+					seen++
+				}
+			})
+		}
+		stream(0, 1)
+		if bidir {
+			stream(1, 0)
+		}
+		c.Run()
+		return c.Eng.Now()
+	}
+	uni := run(false)
+	bi := run(true)
+	if float64(bi) > float64(uni)*1.15 {
+		t.Fatalf("bidirectional run %.0fus vs unidirectional %.0fus: duplex interference",
+			bi.Microseconds(), uni.Microseconds())
+	}
+}
+
+func TestMemorySegments(t *testing.T) {
+	m := &Memory{}
+	a := make([]byte, 100)
+	b := make([]byte, 50)
+	sa, sb := m.Add(a), m.Add(b)
+	if sa != 0 || sb != 1 {
+		t.Fatalf("segment ids %d,%d", sa, sb)
+	}
+	s := m.Slice(Addr{Seg: 1, Off: 10}, 20)
+	s[0] = 42
+	if b[10] != 42 {
+		t.Fatal("slice does not alias segment")
+	}
+	if m.SegLen(0) != 100 || m.NumSegs() != 2 {
+		t.Fatal("segment accounting wrong")
+	}
+}
+
+func TestMemoryBadAddressPanics(t *testing.T) {
+	m := &Memory{}
+	m.Add(make([]byte, 10))
+	for _, addr := range []Addr{{Seg: 5}, {Seg: 0, Off: 8}} {
+		addr := addr
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad address %+v did not panic", addr)
+				}
+			}()
+			m.Slice(addr, 4)
+		}()
+	}
+}
+
+func TestNodeCostModel(t *testing.T) {
+	c := NewCluster(DefaultConfig(1))
+	n := c.Nodes[0]
+	if got := n.FlushCost(256); got != 4*450 {
+		t.Fatalf("flush(256B thin) = %v, want 1800ns", got)
+	}
+	if got := n.FlushCost(1); got != 450 {
+		t.Fatalf("flush(1B) = %v, want one line", got)
+	}
+	if got := n.MemcpyCost(224); got != 224*9 {
+		t.Fatalf("memcpy(224) = %v", got)
+	}
+	wide := NewCluster(WideConfig(1)).Nodes[0]
+	if wide.FlushCost(256) >= n.FlushCost(256) {
+		t.Fatal("wide-node flush should be cheaper for a 256B entry")
+	}
+}
+
+func TestClusterSpawnAllRuns(t *testing.T) {
+	c := NewCluster(DefaultConfig(4))
+	ran := make([]bool, 4)
+	c.SpawnAll("x", func(p *sim.Proc, n *Node) {
+		p.Advance(US(1))
+		ran[n.ID] = true
+	})
+	c.Run()
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("node %d did not run", i)
+		}
+	}
+}
+
+func TestWireBytesProperty(t *testing.T) {
+	if err := quick.Check(func(hdrRaw, dataRaw uint8) bool {
+		hdr := int(hdrRaw%32) + 1
+		data := int(dataRaw) % (FIFOEntryBytes - 32)
+		p := &Packet{HdrBytes: hdr, Data: make([]byte, data)}
+		w := p.WireBytes()
+		return w >= 1 && w <= FIFOEntryBytes && w == hdr+data
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchUtilizationAccounting(t *testing.T) {
+	c := NewCluster(DefaultConfig(2))
+	const pkts = 100
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		for i := 0; i < pkts; i++ {
+			for n.Adapter.SendSpace() == 0 {
+				p.Advance(US(1))
+			}
+			n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Data: make([]byte, PacketDataSize)})
+			n.Adapter.CommitLengths(p)
+		}
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *Node) {
+		seen := 0
+		for seen < pkts {
+			if n.Adapter.RecvPeek() == nil {
+				p.Advance(US(1))
+				continue
+			}
+			n.Adapter.RecvPop()
+			seen++
+		}
+	})
+	c.Run()
+	in0, _ := c.Switch.Util(0)
+	_, out1 := c.Switch.Util(1)
+	if in0 <= 0.5 || in0 > 1.0 {
+		t.Fatalf("injection port utilization %.2f, expected busy", in0)
+	}
+	if out1 <= 0.5 || out1 > 1.0 {
+		t.Fatalf("ejection port utilization %.2f, expected busy", out1)
+	}
+	if c.Switch.Sent != pkts {
+		t.Fatalf("switch sent %d, want %d", c.Switch.Sent, pkts)
+	}
+}
+
+func TestEngineEventAccounting(t *testing.T) {
+	c := NewCluster(DefaultConfig(2))
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
+		n.Adapter.CommitLengths(p)
+		p.Advance(US(100))
+	})
+	c.Run()
+	if c.Eng.EventsRun < 5 {
+		t.Fatalf("only %d events ran for a full packet delivery", c.Eng.EventsRun)
+	}
+}

@@ -1,0 +1,53 @@
+package hw
+
+import "spam/internal/sim"
+
+// Node is one SP processing node: a cost model for the host CPU and memory
+// system, a registered-memory table, and a TB2 adapter (attached by the
+// Cluster).
+type Node struct {
+	ID      int
+	Eng     *sim.Engine
+	P       NodeParams
+	Mem     *Memory
+	Adapter *TB2
+}
+
+// Compute charges d of computation, scaled by the node's CPU speed. This is
+// how application kernels (sorts, FFTs, stencils) account for their local
+// work.
+func (n *Node) Compute(p *sim.Proc, d sim.Time) {
+	p.Advance(sim.Time(float64(d) * n.P.CPUScale))
+}
+
+// ComputeUnscaled charges exactly d (used by protocol layers whose costs are
+// calibrated directly rather than derived from CPU speed).
+func (n *Node) ComputeUnscaled(p *sim.Proc, d sim.Time) {
+	p.Advance(d)
+}
+
+// MemcpyCost returns the cost of copying nbytes through the cache.
+func (n *Node) MemcpyCost(nbytes int) sim.Time {
+	return sim.Time(nbytes) * n.P.MemcpyPerByte
+}
+
+// Memcpy charges a cached copy of nbytes.
+func (n *Node) Memcpy(p *sim.Proc, nbytes int) {
+	p.Advance(n.MemcpyCost(nbytes))
+}
+
+// FlushCost returns the cost of flushing nbytes worth of cache lines to
+// memory (the RS/6000 I/O bus is not coherent, so the communication layer
+// flushes every FIFO entry it touches — paper §2.1).
+func (n *Node) FlushCost(nbytes int) sim.Time {
+	lines := (nbytes + n.P.CacheLineBytes - 1) / n.P.CacheLineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	return sim.Time(lines) * n.P.FlushPerLine
+}
+
+// Flush charges a cache flush of nbytes.
+func (n *Node) Flush(p *sim.Proc, nbytes int) {
+	p.Advance(n.FlushCost(nbytes))
+}

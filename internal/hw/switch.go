@@ -1,0 +1,109 @@
+package hw
+
+import "spam/internal/sim"
+
+// Packet is one switch packet: it occupies a single send-FIFO entry and
+// travels the fabric as WireBytes() bytes. The communication layer's actual
+// message content rides in Msg (opaque to the hardware); Data carries bulk
+// payload bytes when the packet moves user data.
+type Packet struct {
+	Src, Dst int
+	// HdrBytes is the protocol header length inside the FIFO entry
+	// (typically PacketHeaderSize); Data is the payload. The wire size is
+	// their sum — the adapter transfers only the bytes named in the length
+	// array, not the whole 256-byte entry.
+	HdrBytes int
+	Data     []byte
+	Msg      interface{}
+}
+
+// WireBytes reports how many bytes this packet occupies on the MicroChannel
+// and the switch links.
+func (p *Packet) WireBytes() int {
+	n := p.HdrBytes + len(p.Data)
+	if n <= 0 {
+		n = 1
+	}
+	if n > FIFOEntryBytes {
+		panic("hw: packet exceeds FIFO entry size")
+	}
+	return n
+}
+
+// FaultFunc lets tests inject loss: it is consulted once per packet at the
+// fabric and returns true to drop it. The real switch is effectively
+// lossless (the paper optimizes for that), so production runs leave it nil;
+// the flow-control tests use it to force retransmissions.
+type FaultFunc func(pkt *Packet) bool
+
+// Switch models the SP high-performance switch as an input-queued,
+// output-queued fabric: each node has an injection port and an ejection
+// port, both serialized at LinkBPS, separated by the fabric latency. The
+// four physical routes per node pair are not modeled individually — the
+// paper's protocols never exploit them (delivery is kept in order) — so the
+// fabric is contention-free between distinct (src,dst) port pairs.
+type Switch struct {
+	eng   *sim.Engine
+	p     SwitchParams
+	in    []*sim.Server // per-node injection ports
+	out   []*sim.Server // per-node ejection ports
+	deliv []func(*Packet)
+	Fault FaultFunc
+	Sent  int64
+	Lost  int64
+}
+
+// NewSwitch builds a fabric for n nodes.
+func NewSwitch(e *sim.Engine, n int, p SwitchParams) *Switch {
+	s := &Switch{eng: e, p: p}
+	s.in = make([]*sim.Server, n)
+	s.out = make([]*sim.Server, n)
+	s.deliv = make([]func(*Packet), n)
+	for i := 0; i < n; i++ {
+		s.in[i] = sim.NewServer(e)
+		s.out[i] = sim.NewServer(e)
+	}
+	return s
+}
+
+// Attach registers the delivery callback for a node's ejection port (called
+// by the node's adapter).
+func (s *Switch) Attach(node int, deliver func(*Packet)) {
+	s.deliv[node] = deliver
+}
+
+func (s *Switch) xferTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes) / s.p.LinkBPS * 1e9)
+}
+
+// Send injects pkt at the source port; it will pop out of the destination
+// adapter's delivery callback after injection serialization, fabric latency,
+// and ejection serialization. Loopback (src == dst) skips the fabric but
+// still pays the ejection port, matching the adapter's self-send path.
+func (s *Switch) Send(pkt *Packet) {
+	s.Sent++
+	if s.Fault != nil && s.Fault(pkt) {
+		s.Lost++
+		return
+	}
+	t := s.xferTime(pkt.WireBytes())
+	if pkt.Src == pkt.Dst {
+		s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
+		return
+	}
+	s.in[pkt.Src].Submit(t, func() {
+		s.eng.After(s.p.Latency, func() {
+			s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
+		})
+	})
+}
+
+// Util returns the busy fractions of a node's injection and ejection ports
+// up to the current time (diagnostics for bandwidth experiments).
+func (s *Switch) Util(node int) (in, out float64) {
+	now := float64(s.eng.Now())
+	if now == 0 {
+		return 0, 0
+	}
+	return float64(s.in[node].Busy) / now, float64(s.out[node].Busy) / now
+}

@@ -1,0 +1,151 @@
+package hw
+
+import "spam/internal/sim"
+
+// TB2 models the SP's communication adapter: an i860 with 8 MB of DRAM that
+// watches a packet-length array, DMAs committed send-FIFO entries across the
+// MicroChannel into the fabric, and DMAs arriving packets into the host
+// receive FIFO. One user process per node gets direct, OS-bypass access to
+// the FIFOs (paper §2.1).
+//
+// The host-side protocol (internal/am, internal/mpl) is responsible for
+// charging its own CPU costs (building entries, cache flushes, the
+// length-array MicroChannel store); the adapter charges the i860 and DMA
+// pipeline times.
+type TB2 struct {
+	node *Node
+	sw   *Switch
+	p    AdapterParams
+
+	// Send side. staged holds entries the host has written but not yet
+	// committed via the length array; sendUsed counts all occupied entries
+	// (staged + committed-but-not-yet-DMA'd).
+	staged   []*Packet
+	sendUsed int
+	i860Send *sim.Server
+	dmaOut   *sim.Server
+
+	// Receive side: the host-visible receive FIFO plus its feeding pipeline.
+	i860Recv *sim.Server
+	dmaIn    *sim.Server
+	recvQ    []*Packet
+	recvCap  int
+
+	// DroppedOverflow counts packets lost to receive-FIFO overflow — the
+	// only loss mode of the (effectively lossless) SP switch, and the reason
+	// the paper's flow control exists.
+	DroppedOverflow int64
+	// Delivered counts packets placed into the receive FIFO.
+	Delivered int64
+}
+
+func newTB2(n *Node, sw *Switch, p AdapterParams, activeNodes int) *TB2 {
+	a := &TB2{
+		node:     n,
+		sw:       sw,
+		p:        p,
+		i860Send: sim.NewServer(n.Eng),
+		dmaOut:   sim.NewServer(n.Eng),
+		i860Recv: sim.NewServer(n.Eng),
+		dmaIn:    sim.NewServer(n.Eng),
+		recvCap:  RecvFIFOPerNode * activeNodes,
+	}
+	sw.Attach(n.ID, a.deliver)
+	return a
+}
+
+// Params returns the adapter timing parameters.
+func (a *TB2) Params() AdapterParams { return a.p }
+
+// SendSpace reports free send-FIFO entries.
+func (a *TB2) SendSpace() int { return SendFIFOEntries - a.sendUsed }
+
+// PushSend stores one packet into the next send-FIFO entry. The caller must
+// have verified SendSpace() > 0 and must charge its own build/flush costs;
+// the entry does not move until CommitLengths makes its length slot nonzero.
+func (a *TB2) PushSend(pkt *Packet) {
+	if a.sendUsed >= SendFIFOEntries {
+		panic("hw: send FIFO overflow (caller must check SendSpace)")
+	}
+	pkt.Src = a.node.ID
+	a.sendUsed++
+	a.staged = append(a.staged, pkt)
+}
+
+// CommitLengths writes the length-array slots for all staged entries in one
+// programmed-I/O access across the MicroChannel (the paper's batching
+// optimization: "writing the lengths of several packets at a time") and
+// starts the adapter pipeline on them. It charges the calling process the
+// MicroChannel access cost.
+func (a *TB2) CommitLengths(p *sim.Proc) {
+	if len(a.staged) == 0 {
+		return
+	}
+	p.Advance(a.p.MCAccess)
+	a.commit()
+}
+
+// CommitLengthsAsyncCost is used by layers that account the MicroChannel
+// store as part of a lumped cost they already charged; it commits without
+// advancing the process clock.
+func (a *TB2) CommitLengthsFree() { a.commit() }
+
+func (a *TB2) commit() {
+	batch := a.staged
+	a.staged = nil
+	// The pickup latency delays the whole batch equally (the firmware's
+	// length-array scan), so FIFO order is preserved.
+	a.node.Eng.After(a.p.PickupLatency, func() {
+		for _, pkt := range batch {
+			pkt := pkt
+			a.i860Send.Submit(a.p.SendProc, func() {
+				a.dmaOut.Submit(a.mcTime(pkt.WireBytes()), func() {
+					a.sendUsed--
+					a.sw.Send(pkt)
+				})
+			})
+		}
+	})
+}
+
+func (a *TB2) mcTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes) / a.p.MicroChannelBPS * 1e9)
+}
+
+// deliver is the ejection-port callback: the i860 accepts the packet and
+// DMAs it into the host receive FIFO, dropping it if the FIFO is full.
+func (a *TB2) deliver(pkt *Packet) {
+	a.i860Recv.Submit(a.p.RecvProc, func() {
+		a.dmaIn.Submit(a.mcTime(pkt.WireBytes()), func() {
+			if len(a.recvQ) >= a.recvCap {
+				a.DroppedOverflow++
+				return
+			}
+			a.recvQ = append(a.recvQ, pkt)
+			a.Delivered++
+		})
+	})
+}
+
+// RecvLen reports how many packets sit in the host receive FIFO.
+func (a *TB2) RecvLen() int { return len(a.recvQ) }
+
+// RecvPeek returns the FIFO head without popping, or nil when empty. The
+// polling layer charges its own per-poll and per-message costs.
+func (a *TB2) RecvPeek() *Packet {
+	if len(a.recvQ) == 0 {
+		return nil
+	}
+	return a.recvQ[0]
+}
+
+// RecvPop removes the FIFO head. The paper pops lazily — after a fixed
+// number of polled messages — to amortize the MicroChannel access that tells
+// the adapter the entry is free; that batching (and its cost) is the
+// caller's policy.
+func (a *TB2) RecvPop() *Packet {
+	pkt := a.recvQ[0]
+	copy(a.recvQ, a.recvQ[1:])
+	a.recvQ = a.recvQ[:len(a.recvQ)-1]
+	return pkt
+}

@@ -1,0 +1,240 @@
+package mpi
+
+import "spam/internal/sim"
+
+// Req is a nonblocking-operation handle common to MPI-AM and MPI-F.
+type Req interface{ Done() bool }
+
+// PT is the point-to-point surface the generic (MPICH-style) collectives
+// and the NAS kernels program against; both MPI-AM (*mpi.Comm) and MPI-F
+// (*mpif.Comm) implement it.
+type PT interface {
+	Rank() int
+	Size() int
+	IsendR(p *sim.Proc, data []byte, dst, tag int) Req
+	IrecvR(p *sim.Proc, buf []byte, src, tag int) Req
+	WaitR(p *sim.Proc, r Req) Status
+	SendB(p *sim.Proc, data []byte, dst, tag int)
+	RecvB(p *sim.Proc, buf []byte, src, tag int) Status
+	Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) Status
+	// NextCollTag returns a fresh reserved (negative) tag; collectives are
+	// issued in the same order on every rank, so the sequence matches.
+	NextCollTag() int
+	// Alltoall exchanges chunk bytes with every rank; the implementation
+	// picks the algorithm (MPICH generic vs vendor-tuned — see Table 6's
+	// FT discussion).
+	Alltoall(p *sim.Proc, send, recv []byte, chunk int)
+}
+
+// PT adapter methods for *Comm.
+
+// IsendR adapts Isend to the PT interface.
+func (c *Comm) IsendR(p *sim.Proc, data []byte, dst, tag int) Req {
+	return c.Isend(p, data, dst, tag)
+}
+
+// IrecvR adapts Irecv to the PT interface.
+func (c *Comm) IrecvR(p *sim.Proc, buf []byte, src, tag int) Req {
+	return c.Irecv(p, buf, src, tag)
+}
+
+// WaitR adapts Wait to the PT interface.
+func (c *Comm) WaitR(p *sim.Proc, r Req) Status { return c.Wait(p, r.(*Request)) }
+
+// SendB adapts Send to the PT interface.
+func (c *Comm) SendB(p *sim.Proc, data []byte, dst, tag int) { c.Send(p, data, dst, tag) }
+
+// RecvB adapts Recv to the PT interface.
+func (c *Comm) RecvB(p *sim.Proc, buf []byte, src, tag int) Status {
+	return c.Recv(p, buf, src, tag)
+}
+
+// NextCollTag returns the next reserved collective tag.
+func (c *Comm) NextCollTag() int {
+	c.collSeq++
+	return -(10 + c.collSeq)
+}
+
+// Alltoall for MPI-AM uses the MPICH generic algorithm: post every
+// receive, then send to ranks in identical (increasing) order everywhere —
+// the convoy pattern the paper blames for FT's MPI_Alltoall bottleneck.
+func (c *Comm) Alltoall(p *sim.Proc, send, recv []byte, chunk int) {
+	AlltoallNaive(p, c, send, recv, chunk)
+}
+
+// Barrier blocks until all ranks arrive (binomial gather + broadcast).
+func Barrier(p *sim.Proc, c PT) {
+	tag := c.NextCollTag()
+	none := []byte{}
+	me, n := c.Rank(), c.Size()
+	// Gather to 0 up a binomial tree.
+	mask := 1
+	for mask < n {
+		if me&mask != 0 {
+			c.SendB(p, none, me-mask, tag)
+			break
+		}
+		if me+mask < n {
+			c.RecvB(p, none, me+mask, tag)
+		}
+		mask <<= 1
+	}
+	// Release down the tree.
+	bcastBinomial(p, c, none, 0, c.NextCollTag())
+}
+
+// Bcast broadcasts buf (significant at root) over a binomial tree.
+func Bcast(p *sim.Proc, c PT, buf []byte, root int) {
+	bcastBinomial(p, c, buf, root, c.NextCollTag())
+}
+
+func bcastBinomial(p *sim.Proc, c PT, buf []byte, root, tag int) {
+	me, n := c.Rank(), c.Size()
+	rel := (me - root + n) % n
+	// Receive from parent.
+	if rel != 0 {
+		mask := 1
+		for mask <= rel {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := (rel - mask + root) % n
+		c.RecvB(p, buf, parent, tag)
+	}
+	// Forward to children.
+	mask := 1
+	for mask <= rel {
+		mask <<= 1
+	}
+	for ; mask < n; mask <<= 1 {
+		child := rel + mask
+		if child < n {
+			c.SendB(p, buf, (child+root)%n, tag)
+		}
+	}
+}
+
+// Op combines src into dst element-wise (caller fixes the element type).
+type Op func(dst, src []byte)
+
+// Reduce combines every rank's send into recv at root (binomial tree).
+// send and recv must be the same length; recv may be nil on non-roots.
+func Reduce(p *sim.Proc, c PT, send, recv []byte, root int, op Op) {
+	tag := c.NextCollTag()
+	me, n := c.Rank(), c.Size()
+	rel := (me - root + n) % n
+	acc := append([]byte(nil), send...)
+	tmp := make([]byte, len(send))
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := ((rel &^ mask) + root) % n
+			c.SendB(p, acc, parent, tag)
+			break
+		}
+		if rel+mask < n {
+			child := (rel + mask + root) % n
+			c.RecvB(p, tmp, child, tag)
+			op(acc, tmp)
+		}
+		mask <<= 1
+	}
+	if me == root {
+		copy(recv, acc)
+	}
+}
+
+// Allreduce is MPICH-style: Reduce to 0, then Bcast.
+func Allreduce(p *sim.Proc, c PT, send, recv []byte, op Op) {
+	if len(recv) != len(send) {
+		panic("mpi: Allreduce buffer length mismatch")
+	}
+	Reduce(p, c, send, recv, 0, op)
+	Bcast(p, c, recv, 0)
+}
+
+// Gather collects chunk bytes from each rank into recv (rank-ordered) at
+// root; MPICH basic: linear receives at the root.
+func Gather(p *sim.Proc, c PT, send, recv []byte, root int) {
+	tag := c.NextCollTag()
+	me, n := c.Rank(), c.Size()
+	if me != root {
+		c.SendB(p, send, root, tag)
+		return
+	}
+	chunk := len(send)
+	copy(recv[me*chunk:], send)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.RecvB(p, recv[r*chunk:(r+1)*chunk], r, tag)
+	}
+}
+
+// Scatter distributes rank-ordered chunks of send (at root) into recv.
+func Scatter(p *sim.Proc, c PT, send, recv []byte, root int) {
+	tag := c.NextCollTag()
+	me, n := c.Rank(), c.Size()
+	chunk := len(recv)
+	if me != root {
+		c.RecvB(p, recv, root, tag)
+		return
+	}
+	copy(recv, send[me*chunk:(me+1)*chunk])
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.SendB(p, send[r*chunk:(r+1)*chunk], r, tag)
+	}
+}
+
+// Allgather is Gather to 0 followed by Bcast (MPICH basic).
+func Allgather(p *sim.Proc, c PT, send, recv []byte) {
+	Gather(p, c, send, recv, 0)
+	Bcast(p, c, recv, 0)
+}
+
+// AlltoallNaive is the MPICH generic all-to-all: all receives posted, then
+// sends issued to ranks 0,1,2,... identically on every rank, which convoys
+// every processor onto the same destination at once (the paper's FT
+// complaint).
+func AlltoallNaive(p *sim.Proc, c PT, send, recv []byte, chunk int) {
+	tag := c.NextCollTag()
+	me, n := c.Rank(), c.Size()
+	reqs := make([]Req, 0, 2*n)
+	for r := 0; r < n; r++ {
+		if r == me {
+			copy(recv[r*chunk:(r+1)*chunk], send[r*chunk:(r+1)*chunk])
+			continue
+		}
+		reqs = append(reqs, c.IrecvR(p, recv[r*chunk:(r+1)*chunk], r, tag))
+	}
+	for r := 0; r < n; r++ { // same order everywhere: the convoy
+		if r == me {
+			continue
+		}
+		reqs = append(reqs, c.IsendR(p, send[r*chunk:(r+1)*chunk], r, tag))
+	}
+	for _, r := range reqs {
+		c.WaitR(p, r)
+	}
+}
+
+// AlltoallPairwise spreads the communication: in step k every rank
+// exchanges with rank^k (power-of-two) or (rank±k) mod n, avoiding the
+// convoy; this is the vendor-tuned pattern MPI-F uses.
+func AlltoallPairwise(p *sim.Proc, c PT, send, recv []byte, chunk int) {
+	tag := c.NextCollTag()
+	me, n := c.Rank(), c.Size()
+	copy(recv[me*chunk:(me+1)*chunk], send[me*chunk:(me+1)*chunk])
+	for k := 1; k < n; k++ {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		rr := c.IrecvR(p, recv[src*chunk:(src+1)*chunk], src, tag)
+		sr := c.IsendR(p, send[dst*chunk:(dst+1)*chunk], dst, tag)
+		c.WaitR(p, sr)
+		c.WaitR(p, rr)
+	}
+}

@@ -1,0 +1,258 @@
+// Package mpi implements MPI-AM: the paper's Section-4 port of MPICH onto
+// SP Active Messages. Only the machine-dependent core is built here — the
+// point-to-point protocols the MPICH abstract device interface (ADI) needs
+// — plus MPICH's generic collectives layered on the point-to-point calls
+// (the paper does the same, and pays for it in FT's Alltoall).
+//
+// Three protocols move data, exactly as in §4.1–4.2:
+//
+//   - Buffered: the sender allocates space in a 16 KB per-sender region it
+//     owns at the receiver (no communication needed), am_store's
+//     [envelope|payload] into it, and the store handler either copies the
+//     message into a posted receive and frees the space via its reply, or
+//     parks it on the unexpected list until a receive shows up.
+//   - Rendezvous: a request-for-address message; the receiver replies with
+//     the receive buffer's address once the receive is posted; the sender
+//     then stores straight into the user buffer. The address-reply handler
+//     may not perform the store (the AM handler restriction), so it queues
+//     the transfer for the next polling MPI call.
+//   - Hybrid buffered/rendezvous (optimized): a 4 KB prefix travels
+//     buffered while the rendezvous completes, hiding the address
+//     round-trip and removing the protocol-switch bandwidth discontinuity.
+//
+// The unoptimized configuration (first-fit allocator, one free message per
+// buffer, buffered→rendezvous switch at 16 KB) and the optimized one
+// (binned allocator, batched frees, hybrid protocol from 8 KB) are both
+// available, since Figures 8–11 plot the two against MPI-F.
+package mpi
+
+import (
+	"encoding/binary"
+
+	"spam/internal/am"
+	"spam/internal/hw"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved internal tag space (collectives use negative tags).
+const (
+	tagBarrier   = -2
+	tagBcast     = -3
+	tagReduce    = -4
+	tagGather    = -5
+	tagScatter   = -6
+	tagAlltoall  = -7
+	tagAllgather = -8
+)
+
+// envelope layout inside a buffered message: 16 bytes before the payload.
+const envBytes = 16
+
+// Options selects the protocol configuration.
+type Options struct {
+	// Optimized selects the paper's §4.2 optimizations: binned allocator,
+	// batched buffer frees, hybrid protocol.
+	Optimized bool
+	// PerPeerBuf is the per-sender buffered region size (16 KB).
+	PerPeerBuf int
+	// BufferedMax is the largest message sent purely buffered; beyond it
+	// the rendezvous (or hybrid) protocol takes over. 16 KB unoptimized,
+	// 8 KB optimized.
+	BufferedMax int
+	// HybridPrefix is the prefix shipped buffered while the rendezvous
+	// handshake is in flight (0 disables the hybrid protocol).
+	HybridPrefix int
+	// RdvSlots is the size of the receive-buffer registration pool.
+	RdvSlots int
+}
+
+// Unoptimized returns the paper's first-cut configuration.
+func Unoptimized() Options {
+	return Options{Optimized: false, PerPeerBuf: 16 << 10, BufferedMax: 16 << 10, HybridPrefix: 0, RdvSlots: 128}
+}
+
+// Optimized returns the §4.2 configuration.
+func Optimized() Options {
+	return Options{Optimized: true, PerPeerBuf: 16 << 10, BufferedMax: 8 << 10, HybridPrefix: 4 << 10, RdvSlots: 128}
+}
+
+// Calibrated MPICH-layer software costs (on top of the AM calls).
+var (
+	costEnvBuild = hw.US(1.2) // building the envelope + protocol decision
+	costMatch    = hw.US(0.8) // matching a message against the queues
+	costAllocBin = hw.US(0.4) // binned allocation (optimized)
+	costAllocFF  = hw.US(2.4) // first-fit allocation (the §4.2 culprit)
+	costFree     = hw.US(0.5) // processing one buffer free
+	costPostRecv = hw.US(0.7) // posting a receive
+	costRdvSetup = hw.US(1.5) // rendezvous state bookkeeping
+)
+
+// System is MPI-AM instantiated across a cluster.
+type System struct {
+	Cluster *hw.Cluster
+	AM      *am.System
+	Comms   []*Comm
+	Opt     Options
+
+	h handlers
+}
+
+type handlers struct {
+	bufStore am.HandlerID // bulk: buffered [env|payload] landed
+	bufFree  am.HandlerID // short: frees packed as words
+	rts      am.HandlerID // short: rendezvous request-to-send
+	cts      am.HandlerID // short: clear-to-send (buffer address)
+	rdvData  am.HandlerID // bulk: rendezvous payload landed
+}
+
+// New builds MPI-AM over a fresh AM system on c.
+func New(c *hw.Cluster, opt Options) *System {
+	s := &System{Cluster: c, AM: am.New(c), Opt: opt}
+	s.registerHandlers()
+	for i := range c.Nodes {
+		s.Comms = append(s.Comms, newComm(s, s.AM.EPs[i]))
+	}
+	return s
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source, Tag, Size int
+}
+
+// reqKind distinguishes request types.
+type reqKind uint8
+
+const (
+	rkSend reqKind = iota
+	rkRecv
+)
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	kind   reqKind
+	done   bool
+	status Status
+
+	// send state
+	dst, tag int
+	data     []byte
+	rdvID    uint32
+	prefix   int // bytes already shipped via the hybrid prefix
+	ctsSlot  int // receiver segment for the rendezvous store (-1 until CTS)
+	ctsSeen  bool
+	storing  bool
+
+	// recv state
+	buf  []byte
+	src  int
+	rtag int
+	slot int // rendezvous registration slot while data is inbound
+}
+
+// Done reports completion without progressing the engine.
+func (r *Request) Done() bool { return r.done }
+
+// Comm is one rank's MPI library state (MPI_COMM_WORLD).
+type Comm struct {
+	sys *System
+	ep  *am.Endpoint
+
+	bufSeg   int   // segment 0: P x PerPeerBuf buffered regions
+	slotSegs []int // rendezvous registration pool
+	slotFree []int
+
+	alloc []allocator // my view of my space at each receiver
+
+	posted     []*Request
+	unexpected []*inMsg
+
+	pendCTS   []pendingCTS // CTS received; stores to issue from progress
+	pendFrees map[int][]freeEntry
+	tick      int
+
+	nextRdv uint32
+	rdvSend map[uint32]*Request // rdvID -> send awaiting CTS
+	rdvRecv map[rdvKey]*Request // (src, rdvID) -> posted recv awaiting data
+	collSeq int                 // collective sequence number (tag salt)
+
+	// Stats
+	SendsBuffered, SendsRdv, SendsHybrid int64
+}
+
+// inMsg is a message known to the receiver but not yet matched: either a
+// buffered arrival (data sitting in the buffered region) or a rendezvous
+// RTS awaiting a matching receive.
+type inMsg struct {
+	src, tag int
+	size     int
+	buffered bool
+	region   []byte // buffered payload (view into the buffered segment)
+	freeOff  int    // offset to free once copied
+	freeLen  int
+	rdvID    uint32
+	prefix   int // hybrid prefix bytes present in region
+}
+
+// rdvKey identifies a rendezvous at the receiver: ids are only unique
+// per sender, so the sender rank is part of the key.
+type rdvKey struct {
+	src int
+	id  uint32
+}
+
+type pendingCTS struct {
+	req *Request
+}
+
+type freeEntry struct{ off, ln int }
+
+func newComm(s *System, ep *am.Endpoint) *Comm {
+	c := &Comm{sys: s, ep: ep,
+		pendFrees: make(map[int][]freeEntry),
+		rdvSend:   make(map[uint32]*Request),
+		rdvRecv:   make(map[rdvKey]*Request),
+	}
+	n := ep.N()
+	region := make([]byte, n*s.Opt.PerPeerBuf)
+	c.bufSeg = ep.Node().Mem.Add(region)
+	for i := 0; i < s.Opt.RdvSlots; i++ {
+		seg := ep.Node().Mem.Add(nil)
+		c.slotSegs = append(c.slotSegs, seg)
+		c.slotFree = append(c.slotFree, seg)
+	}
+	c.alloc = make([]allocator, n)
+	for i := range c.alloc {
+		c.alloc[i] = newAllocator(s.Opt)
+	}
+	ep.Data = c
+	return c
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.ep.ID() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.ep.N() }
+
+func (c *Comm) node() *hw.Node { return c.ep.Node() }
+
+func putEnv(b []byte, tag int, size int, rdvID uint32, prefix int) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(size))
+	binary.LittleEndian.PutUint32(b[8:], rdvID)
+	binary.LittleEndian.PutUint32(b[12:], uint32(prefix))
+}
+
+func readEnv(b []byte) (tag int, size int, rdvID uint32, prefix int) {
+	tag = int(int32(binary.LittleEndian.Uint32(b[0:])))
+	size = int(binary.LittleEndian.Uint32(b[4:]))
+	rdvID = binary.LittleEndian.Uint32(b[8:])
+	prefix = int(binary.LittleEndian.Uint32(b[12:]))
+	return
+}

@@ -1,0 +1,445 @@
+package mpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/sim"
+)
+
+func runMPI(n int, opt mpi.Options, prog func(p *sim.Proc, c *mpi.Comm)) *hw.Cluster {
+	cluster := hw.NewCluster(hw.DefaultConfig(n))
+	sys := mpi.New(cluster, opt)
+	for i := 0; i < n; i++ {
+		c := sys.Comms[i]
+		cluster.Spawn(i, "mpi", func(p *sim.Proc, nd *hw.Node) { prog(p, c) })
+	}
+	cluster.Run()
+	return cluster
+}
+
+func bothConfigs(t *testing.T, fn func(t *testing.T, opt mpi.Options)) {
+	t.Helper()
+	t.Run("unoptimized", func(t *testing.T) { fn(t, mpi.Unoptimized()) })
+	t.Run("optimized", func(t *testing.T) { fn(t, mpi.Optimized()) })
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+func TestSendRecvAcrossProtocolSizes(t *testing.T) {
+	// Sizes straddling every protocol boundary: tiny buffered, bin-sized,
+	// first-fit sized, hybrid region, pure rendezvous, multi-chunk.
+	sizes := []int{0, 1, 13, 1024, 1500, 4096, 8192, 8193, 16384, 16400, 40000, 200000}
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		for _, size := range sizes {
+			size := size
+			t.Run(fmt.Sprint(size), func(t *testing.T) {
+				msg := pattern(size, 3)
+				var got []byte
+				var st mpi.Status
+				runMPI(2, opt, func(p *sim.Proc, c *mpi.Comm) {
+					if c.Rank() == 0 {
+						c.Send(p, msg, 1, 42)
+					} else {
+						buf := make([]byte, size)
+						st = c.Recv(p, buf, 0, 42)
+						got = buf
+					}
+				})
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("size %d corrupted", size)
+				}
+				if st.Size != size || st.Source != 0 || st.Tag != 42 {
+					t.Fatalf("status %+v", st)
+				}
+			})
+		}
+	})
+}
+
+func TestUnexpectedMessages(t *testing.T) {
+	// Sender fires before the receive is posted, for both buffered and
+	// rendezvous sizes.
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		for _, size := range []int{100, 50000} {
+			msg := pattern(size, 9)
+			var got []byte
+			runMPI(2, opt, func(p *sim.Proc, c *mpi.Comm) {
+				if c.Rank() == 0 {
+					c.Send(p, msg, 1, 7)
+				} else {
+					// Busy-wait long enough for the message to arrive
+					// unexpected, without posting.
+					p.Advance(hw.US(3000))
+					buf := make([]byte, size)
+					c.Recv(p, buf, 0, 7)
+					got = buf
+				}
+			})
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("size %d unexpected-path corrupted", size)
+			}
+		}
+	})
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		var order []int
+		runMPI(3, opt, func(p *sim.Proc, c *mpi.Comm) {
+			switch c.Rank() {
+			case 0:
+				c.Send(p, []byte("a"), 2, 5)
+			case 1:
+				p.Advance(hw.US(200))
+				c.Send(p, []byte("b"), 2, 6)
+			case 2:
+				buf := make([]byte, 1)
+				// Receive tag 6 first although tag 5 arrives first.
+				st := c.Recv(p, buf, mpi.AnySource, 6)
+				order = append(order, st.Tag)
+				st = c.Recv(p, buf, mpi.AnySource, mpi.AnyTag)
+				order = append(order, st.Tag)
+			}
+		})
+		if len(order) != 2 || order[0] != 6 || order[1] != 5 {
+			t.Fatalf("matched order %v", order)
+		}
+	})
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		const n = 150
+		var got []uint32
+		runMPI(2, opt, func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				buf := make([]byte, 4)
+				for i := 0; i < n; i++ {
+					binary.LittleEndian.PutUint32(buf, uint32(i))
+					c.Send(p, buf, 1, 3)
+				}
+			} else {
+				buf := make([]byte, 4)
+				for i := 0; i < n; i++ {
+					c.Recv(p, buf, 0, 3)
+					got = append(got, binary.LittleEndian.Uint32(buf))
+				}
+			}
+		})
+		for i, v := range got {
+			if v != uint32(i) {
+				t.Fatalf("reorder at %d: %d", i, v)
+			}
+		}
+	})
+}
+
+func TestBufferRecyclingManyMessages(t *testing.T) {
+	// Far more traffic than the 16KB buffered region holds: the free
+	// protocol must recycle space indefinitely.
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		const n = 400
+		got := 0
+		runMPI(2, opt, func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				msg := pattern(900, 1)
+				for i := 0; i < n; i++ {
+					c.Send(p, msg, 1, 1)
+				}
+			} else {
+				buf := make([]byte, 900)
+				for i := 0; i < n; i++ {
+					c.Recv(p, buf, 0, 1)
+					got++
+				}
+			}
+		})
+		if got != n {
+			t.Fatalf("received %d of %d", got, n)
+		}
+	})
+}
+
+func TestNonblockingOverlap(t *testing.T) {
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		ok := false
+		runMPI(2, opt, func(p *sim.Proc, c *mpi.Comm) {
+			if c.Rank() == 0 {
+				a := c.Isend(p, pattern(30000, 2), 1, 1)
+				b := c.Isend(p, pattern(100, 3), 1, 2)
+				c.Waitall(p, []*mpi.Request{a, b})
+			} else {
+				big := make([]byte, 30000)
+				small := make([]byte, 100)
+				ra := c.Irecv(p, big, 0, 1)
+				rb := c.Irecv(p, small, 0, 2)
+				c.Wait(p, rb)
+				c.Wait(p, ra)
+				ok = bytes.Equal(big, pattern(30000, 2)) && bytes.Equal(small, pattern(100, 3))
+			}
+		})
+		if !ok {
+			t.Fatal("nonblocking transfers corrupted")
+		}
+	})
+}
+
+func TestSendrecvRing(t *testing.T) {
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		const P = 4
+		vals := make([]uint32, P)
+		runMPI(P, opt, func(p *sim.Proc, c *mpi.Comm) {
+			me := c.Rank()
+			out := make([]byte, 4)
+			in := make([]byte, 4)
+			binary.LittleEndian.PutUint32(out, uint32(me)*10)
+			c.Sendrecv(p, out, (me+1)%P, 9, in, (me+P-1)%P, 9)
+			vals[me] = binary.LittleEndian.Uint32(in)
+		})
+		for me := 0; me < P; me++ {
+			want := uint32((me+P-1)%P) * 10
+			if vals[me] != want {
+				t.Fatalf("rank %d got %d, want %d", me, vals[me], want)
+			}
+		}
+	})
+}
+
+func sumF64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := binary.LittleEndian.Uint64(dst[i:])
+		b := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], uint64(int64(a)+int64(b)))
+	}
+}
+
+func TestCollectives(t *testing.T) {
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		const P = 5
+		bcastOK := make([]bool, P)
+		redOK := make([]bool, P)
+		gathOK := make([]bool, P)
+		a2aOK := make([]bool, P)
+		runMPI(P, opt, func(p *sim.Proc, c *mpi.Comm) {
+			me := c.Rank()
+
+			// Barrier first (smoke).
+			mpi.Barrier(p, c)
+
+			// Bcast from rank 2.
+			buf := make([]byte, 1000)
+			if me == 2 {
+				copy(buf, pattern(1000, 77))
+			}
+			mpi.Bcast(p, c, buf, 2)
+			bcastOK[me] = bytes.Equal(buf, pattern(1000, 77))
+
+			// Allreduce of int64 encoded rank+1: expect P*(P+1)/2.
+			send := make([]byte, 8)
+			recv := make([]byte, 8)
+			binary.LittleEndian.PutUint64(send, uint64(me+1))
+			mpi.Allreduce(p, c, send, recv, sumF64)
+			redOK[me] = binary.LittleEndian.Uint64(recv) == uint64(P*(P+1)/2)
+
+			// Allgather 8 bytes per rank.
+			gin := make([]byte, 8)
+			binary.LittleEndian.PutUint64(gin, uint64(me*100))
+			gout := make([]byte, 8*P)
+			mpi.Allgather(p, c, gin, gout)
+			ok := true
+			for r := 0; r < P; r++ {
+				if binary.LittleEndian.Uint64(gout[8*r:]) != uint64(r*100) {
+					ok = false
+				}
+			}
+			gathOK[me] = ok
+
+			// Alltoall: chunk value identifies (src, dst).
+			const chunk = 16
+			as := make([]byte, chunk*P)
+			ar := make([]byte, chunk*P)
+			for r := 0; r < P; r++ {
+				binary.LittleEndian.PutUint64(as[r*chunk:], uint64(me*1000+r))
+			}
+			c.Alltoall(p, as, ar, chunk)
+			ok = true
+			for r := 0; r < P; r++ {
+				if binary.LittleEndian.Uint64(ar[r*chunk:]) != uint64(r*1000+me) {
+					ok = false
+				}
+			}
+			a2aOK[me] = ok
+		})
+		for me := 0; me < P; me++ {
+			if !bcastOK[me] || !redOK[me] || !gathOK[me] || !a2aOK[me] {
+				t.Fatalf("rank %d: bcast=%v reduce=%v gather=%v alltoall=%v",
+					me, bcastOK[me], redOK[me], gathOK[me], a2aOK[me])
+			}
+		}
+	})
+}
+
+func TestAlltoallLargeChunks(t *testing.T) {
+	// Rendezvous-sized chunks through both alltoall algorithms.
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		const P = 4
+		const chunk = 20000
+		okN, okP := make([]bool, P), make([]bool, P)
+		for _, pairwise := range []bool{false, true} {
+			pairwise := pairwise
+			runMPI(P, opt, func(p *sim.Proc, c *mpi.Comm) {
+				me := c.Rank()
+				as := make([]byte, chunk*P)
+				ar := make([]byte, chunk*P)
+				for r := 0; r < P; r++ {
+					copy(as[r*chunk:(r+1)*chunk], pattern(chunk, byte(me*16+r)))
+				}
+				if pairwise {
+					mpi.AlltoallPairwise(p, c, as, ar, chunk)
+				} else {
+					mpi.AlltoallNaive(p, c, as, ar, chunk)
+				}
+				ok := true
+				for r := 0; r < P; r++ {
+					if !bytes.Equal(ar[r*chunk:(r+1)*chunk], pattern(chunk, byte(r*16+me))) {
+						ok = false
+					}
+				}
+				if pairwise {
+					okP[me] = ok
+				} else {
+					okN[me] = ok
+				}
+			})
+		}
+		for me := 0; me < P; me++ {
+			if !okN[me] || !okP[me] {
+				t.Fatalf("rank %d: naive=%v pairwise=%v", me, okN[me], okP[me])
+			}
+		}
+	})
+}
+
+func TestScatterGather(t *testing.T) {
+	bothConfigs(t, func(t *testing.T, opt mpi.Options) {
+		const P, chunk = 4, 64
+		ok := make([]bool, P)
+		rootOK := false
+		runMPI(P, opt, func(p *sim.Proc, c *mpi.Comm) {
+			me := c.Rank()
+			var all []byte
+			if me == 1 {
+				all = make([]byte, P*chunk)
+				for r := 0; r < P; r++ {
+					copy(all[r*chunk:], pattern(chunk, byte(r+40)))
+				}
+			}
+			mine := make([]byte, chunk)
+			mpi.Scatter(p, c, all, mine, 1)
+			ok[me] = bytes.Equal(mine, pattern(chunk, byte(me+40)))
+
+			// Round-trip: gather back to rank 0.
+			back := make([]byte, P*chunk)
+			mpi.Gather(p, c, mine, back, 0)
+			if me == 0 {
+				rootOK = true
+				for r := 0; r < P; r++ {
+					if !bytes.Equal(back[r*chunk:(r+1)*chunk], pattern(chunk, byte(r+40))) {
+						rootOK = false
+					}
+				}
+			}
+		})
+		for me := 0; me < P; me++ {
+			if !ok[me] {
+				t.Fatalf("rank %d scatter wrong", me)
+			}
+		}
+		if !rootOK {
+			t.Fatal("gather round-trip wrong")
+		}
+	})
+}
+
+func TestHybridAvoidsDiscontinuity(t *testing.T) {
+	// Optimized MPI-AM should not be slower at just-past-the-switch sizes
+	// than at just-below sizes; unoptimized (16K switch, pure rendezvous)
+	// may be. This reproduces the Figure-7 claim qualitatively.
+	latency := func(opt mpi.Options, size int) float64 {
+		var us float64
+		runMPI(2, opt, func(p *sim.Proc, c *mpi.Comm) {
+			msg := make([]byte, size)
+			buf := make([]byte, size)
+			if c.Rank() == 0 {
+				// Warm, then measure 10 round trips.
+				c.Send(p, msg, 1, 1)
+				c.Recv(p, buf, 1, 1)
+				t0 := p.Now()
+				for i := 0; i < 10; i++ {
+					c.Send(p, msg, 1, 1)
+					c.Recv(p, buf, 1, 1)
+				}
+				us = (p.Now() - t0).Microseconds() / 20
+			} else {
+				for i := 0; i < 11; i++ {
+					c.Recv(p, buf, 0, 1)
+					c.Send(p, msg, 0, 1)
+				}
+			}
+		})
+		return us
+	}
+	opt := mpi.Optimized()
+	below := latency(opt, 8000) // just below the 8K switch
+	above := latency(opt, 8600) // just above
+	// Crossing the protocol switch must not cost anywhere near a full
+	// rendezvous round trip; the hybrid may even be slightly FASTER per
+	// message (Figure 7: it avoids the buffered protocol's double copy).
+	if above-below > 60 {
+		t.Fatalf("hybrid discontinuity too large: %.1fus -> %.1fus", below, above)
+	}
+	if below-above > 120 {
+		t.Fatalf("implausible gap: %.1fus at 8000B vs %.1fus at 8600B", below, above)
+	}
+	t.Logf("per-message time across the 8K switch: %.1fus -> %.1fus", below, above)
+}
+
+func TestVectorSendRecvEndToEnd(t *testing.T) {
+	// A strided column of a 16x16 byte matrix travels as an MPI vector.
+	v := mpi.Vector{Count: 16, BlockLen: 4, Stride: 16}
+	src := make([]byte, v.Extent())
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	dst := make([]byte, v.Extent())
+	runMPI(2, mpi.Optimized(), func(p *sim.Proc, c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.SendVector(p, src, v, 1, 4)
+		} else {
+			c.RecvVector(p, dst, v, 0, 4)
+		}
+	})
+	for i := 0; i < v.Count; i++ {
+		for j := 0; j < v.BlockLen; j++ {
+			if dst[i*v.Stride+j] != src[i*v.Stride+j] {
+				t.Fatalf("block %d byte %d mismatch", i, j)
+			}
+		}
+		for j := v.BlockLen; i < v.Count-1 && j < v.Stride; j++ {
+			if dst[i*v.Stride+j] != 0 {
+				t.Fatalf("gap byte written at block %d offset %d", i, j)
+			}
+		}
+	}
+}

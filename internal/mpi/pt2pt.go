@@ -1,0 +1,268 @@
+package mpi
+
+import (
+	"fmt"
+
+	"spam/internal/am"
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// bufferedMax is the largest payload the buffered protocol carries (the
+// envelope must fit the allocated extent too).
+func (c *Comm) bufferedMax() int {
+	m := c.sys.Opt.BufferedMax
+	if lim := c.sys.Opt.PerPeerBuf - envBytes; m > lim {
+		m = lim
+	}
+	return m
+}
+
+// regionBase is where rank src's buffered region starts in my bufSeg.
+func (c *Comm) regionBase(src int) int { return src * c.sys.Opt.PerPeerBuf }
+
+// packFree encodes a region-relative extent in one 32-bit word
+// (off in 14 bits, length in 15 bits, +1 so a zero word means "no free").
+func packFree(off, ln int) uint32 { return (uint32(off)<<15 | uint32(ln)) + 1 }
+
+func unpackFree(w uint32) (off, ln int, ok bool) {
+	if w == 0 {
+		return 0, 0, false
+	}
+	w--
+	return int(w >> 15), int(w & 0x7fff), true
+}
+
+// Isend starts a nonblocking standard send.
+func (c *Comm) Isend(p *sim.Proc, data []byte, dst, tag int) *Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: bad destination rank %d", dst))
+	}
+	req := &Request{kind: rkSend, dst: dst, tag: tag, data: data, ctsSlot: -1}
+	c.node().ComputeUnscaled(p, costEnvBuild)
+	n := len(data)
+
+	if n <= c.bufferedMax() {
+		if c.sendBuffered(p, req, 0, 0) {
+			return req
+		}
+		// No buffer space: fall through to rendezvous.
+	}
+
+	// Rendezvous, with a hybrid prefix when configured and buffer space
+	// allows. The request-for-address goes out FIRST and the prefix
+	// streams behind it, so the address reply overlaps the prefix transfer
+	// and the remainder can start the moment the prefix drains — this is
+	// what removes the protocol-switch discontinuity (§4.2, Figure 7).
+	c.nextRdv++
+	req.rdvID = c.nextRdv
+	c.rdvSend[req.rdvID] = req
+	c.node().ComputeUnscaled(p, costRdvSetup)
+	prefix := 0
+	if hp := c.sys.Opt.HybridPrefix; hp > 0 && n > hp {
+		if off, bin, ok := c.alloc[dst].grab(envBytes + hp); ok {
+			prefix = hp
+			c.SendsHybrid++
+			c.ep.Request(p, dst, c.sys.h.rts,
+				uint32(int32(tag)), uint32(n), req.rdvID, uint32(prefix))
+			c.storeBuffered(p, req, off, bin, req.rdvID, prefix)
+		}
+	}
+	req.prefix = prefix
+	if prefix == 0 {
+		c.SendsRdv++
+		c.ep.Request(p, dst, c.sys.h.rts,
+			uint32(int32(tag)), uint32(n), req.rdvID, 0)
+	}
+	return req
+}
+
+// sendBuffered ships a complete message through the buffered protocol.
+func (c *Comm) sendBuffered(p *sim.Proc, req *Request, rdvID uint32, prefix int) bool {
+	off, bin, ok := c.alloc[req.dst].grab(envBytes + len(req.data))
+	if !ok {
+		return false
+	}
+	c.SendsBuffered++
+	c.storeBuffered(p, req, off, bin, rdvID, prefix)
+	return true
+}
+
+// storeBuffered builds [envelope|payload-or-prefix] and stores it into the
+// already-allocated extent at off.
+func (c *Comm) storeBuffered(p *sim.Proc, req *Request, off int, bin bool, rdvID uint32, prefix int) {
+	n := len(req.data)
+	payload := n
+	if prefix > 0 {
+		payload = prefix
+	}
+	if bin {
+		c.node().ComputeUnscaled(p, costAllocBin)
+	} else {
+		c.node().ComputeUnscaled(p, costAllocFF)
+	}
+	buf := make([]byte, envBytes+payload)
+	putEnv(buf, req.tag, n, rdvID, prefix)
+	copy(buf[envBytes:], req.data[:payload])
+	raddr := hw.Addr{Seg: c.bufSeg, Off: c.regionBase(c.Rank()) + off}
+	if rdvID == 0 {
+		c.ep.StoreAsync(p, req.dst, raddr, buf, c.sys.h.bufStore, 0,
+			func(q *sim.Proc, e *am.Endpoint) { req.done = true })
+	} else {
+		// Prefix store: the request completes when the remainder is acked.
+		c.ep.StoreAsync(p, req.dst, raddr, buf, c.sys.h.bufStore, 0, nil)
+	}
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) *Request {
+	req := &Request{kind: rkRecv, buf: buf, src: src, rtag: tag}
+	c.node().ComputeUnscaled(p, costPostRecv)
+	if m := c.matchUnexpected(src, tag); m != nil {
+		c.node().ComputeUnscaled(p, costMatch)
+		c.claimUnexpected(p, req, m)
+		return req
+	}
+	c.posted = append(c.posted, req)
+	return req
+}
+
+// claimUnexpected completes (buffered) or advances (rendezvous) a receive
+// whose message already arrived. Runs in application context, so it may
+// send requests.
+func (c *Comm) claimUnexpected(p *sim.Proc, req *Request, m *inMsg) {
+	if m.buffered && m.rdvID == 0 {
+		nCopy := copy(req.buf, m.region[:m.size])
+		c.node().Memcpy(p, nCopy)
+		req.status = Status{Source: m.src, Tag: m.tag, Size: m.size}
+		req.done = true
+		c.queueFree(p, m.src, m.freeOff, m.freeLen)
+		return
+	}
+	// Rendezvous (possibly with a buffered prefix). The prefix region is
+	// nil when the prefix is still in flight; it is copied on arrival via
+	// the rdvRecv entry registered below.
+	if m.prefix > 0 && m.region != nil {
+		nCopy := copy(req.buf, m.region[:m.prefix])
+		c.node().Memcpy(p, nCopy)
+		c.queueFree(p, m.src, m.freeOff, m.freeLen)
+	}
+	slot := c.allocSlot()
+	c.node().Mem.Replace(slot, req.buf[m.prefix:m.size])
+	req.status = Status{Source: m.src, Tag: m.tag, Size: m.size}
+	req.slot = slot
+	c.rdvRecv[rdvKey{src: m.src, id: m.rdvID}] = req
+	c.ep.Request(p, m.src, c.sys.h.cts, m.rdvID, uint32(slot), 0, 0)
+}
+
+func (c *Comm) allocSlot() int {
+	if n := len(c.slotFree); n > 0 {
+		s := c.slotFree[n-1]
+		c.slotFree = c.slotFree[:n-1]
+		return s
+	}
+	// Pool exhausted: grow (slot ids are local to this node, so growth
+	// does not need to stay symmetric across ranks).
+	return c.node().Mem.Add(nil)
+}
+
+func (c *Comm) releaseSlot(slot int) {
+	c.node().Mem.Replace(slot, nil)
+	c.slotFree = append(c.slotFree, slot)
+}
+
+func (c *Comm) matchUnexpected(src, tag int) *inMsg {
+	for i, m := range c.unexpected {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Comm) matchPosted(src, tag int) *Request {
+	for i, r := range c.posted {
+		if (r.src == AnySource || r.src == src) && (r.rtag == AnyTag || r.rtag == tag) {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// queueFree records a buffered-region extent to give back to src's
+// allocator. Unoptimized MPI-AM sends one free message per buffer;
+// optimized batches several frees per message (§4.2).
+func (c *Comm) queueFree(p *sim.Proc, src, off, ln int) {
+	rel := off - c.regionBase(src)
+	c.pendFrees[src] = append(c.pendFrees[src], freeEntry{off: rel, ln: ln})
+	if !c.sys.Opt.Optimized || len(c.pendFrees[src]) >= 4 {
+		c.flushFreesTo(p, src)
+	}
+}
+
+func (c *Comm) flushFreesTo(p *sim.Proc, src int) {
+	fs := c.pendFrees[src]
+	if len(fs) == 0 {
+		return
+	}
+	var words [4]uint32
+	k := 0
+	for k < len(fs) && k < 4 {
+		words[k] = packFree(fs[k].off, fs[k].ln)
+		k++
+	}
+	c.pendFrees[src] = fs[k:]
+	c.ep.Request(p, src, c.sys.h.bufFree, words[0], words[1], words[2], words[3])
+	if len(c.pendFrees[src]) > 0 {
+		c.flushFreesTo(p, src)
+	}
+}
+
+// Send is the blocking standard send.
+func (c *Comm) Send(p *sim.Proc, data []byte, dst, tag int) {
+	req := c.Isend(p, data, dst, tag)
+	c.Wait(p, req)
+}
+
+// Recv is the blocking receive; it returns the completion status.
+func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) Status {
+	req := c.Irecv(p, buf, src, tag)
+	return c.Wait(p, req)
+}
+
+// Wait blocks until req completes, driving the progress engine.
+func (c *Comm) Wait(p *sim.Proc, req *Request) Status {
+	for !req.done {
+		c.progress(p)
+	}
+	return req.status
+}
+
+// Waitall completes a set of requests.
+func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) {
+	for _, r := range reqs {
+		c.Wait(p, r)
+	}
+}
+
+// Sendrecv performs the combined operation (used heavily by collectives
+// and the NAS kernels).
+func (c *Comm) Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) Status {
+	rr := c.Irecv(p, recvbuf, src, rtag)
+	sr := c.Isend(p, sendbuf, dst, stag)
+	c.Wait(p, sr)
+	return c.Wait(p, rr)
+}
+
+// Probe reports whether a matching message has arrived (one progress step).
+func (c *Comm) Probe(p *sim.Proc, src, tag int) bool {
+	c.progress(p)
+	for _, m := range c.unexpected {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return true
+		}
+	}
+	return false
+}

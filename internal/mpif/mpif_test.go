@@ -1,0 +1,189 @@
+package mpif_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/mpif"
+	"spam/internal/sim"
+)
+
+func runMPIF(n int, wide bool, prog func(p *sim.Proc, c *mpif.Comm)) {
+	cfg := hw.DefaultConfig(n)
+	if wide {
+		cfg = hw.WideConfig(n)
+	}
+	cluster := hw.NewCluster(cfg)
+	sys := mpif.New(cluster)
+	for i := 0; i < n; i++ {
+		c := sys.Comms[i]
+		cluster.Spawn(i, "mpif", func(p *sim.Proc, nd *hw.Node) { prog(p, c) })
+	}
+	cluster.Run()
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*5 + seed
+	}
+	return b
+}
+
+func TestSendRecvSizes(t *testing.T) {
+	// Straddle the 4KB eager/rendezvous switch.
+	for _, size := range []int{0, 64, 4096, 4097, 8192, 100000} {
+		size := size
+		t.Run(fmt.Sprint(size), func(t *testing.T) {
+			msg := pattern(size, 1)
+			var got []byte
+			runMPIF(2, false, func(p *sim.Proc, c *mpif.Comm) {
+				if c.Rank() == 0 {
+					c.Send(p, msg, 1, 5)
+				} else {
+					buf := make([]byte, size)
+					st := c.Recv(p, buf, 0, 5)
+					if st.Size != size {
+						t.Errorf("status size %d", st.Size)
+					}
+					got = buf
+				}
+			})
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("size %d corrupted", size)
+			}
+		})
+	}
+}
+
+func TestUnexpectedBothProtocols(t *testing.T) {
+	for _, size := range []int{512, 50000} {
+		msg := pattern(size, 7)
+		var got []byte
+		runMPIF(2, false, func(p *sim.Proc, c *mpif.Comm) {
+			if c.Rank() == 0 {
+				c.Send(p, msg, 1, 2)
+			} else {
+				p.Advance(hw.US(4000))
+				buf := make([]byte, size)
+				c.Recv(p, buf, 0, 2)
+				got = buf
+			}
+		})
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d unexpected path corrupted", size)
+		}
+	}
+}
+
+func TestCollectivesOnMPIF(t *testing.T) {
+	const P = 4
+	redOK := make([]bool, P)
+	a2aOK := make([]bool, P)
+	runMPIF(P, false, func(p *sim.Proc, c *mpif.Comm) {
+		me := c.Rank()
+		mpi.Barrier(p, c)
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		binary.LittleEndian.PutUint64(send, uint64(me+1))
+		mpi.Allreduce(p, c, send, recv, func(dst, src []byte) {
+			a := binary.LittleEndian.Uint64(dst)
+			b := binary.LittleEndian.Uint64(src)
+			binary.LittleEndian.PutUint64(dst, a+b)
+		})
+		redOK[me] = binary.LittleEndian.Uint64(recv) == uint64(P*(P+1)/2)
+
+		const chunk = 6000 // rendezvous-sized alltoall
+		as := make([]byte, chunk*P)
+		ar := make([]byte, chunk*P)
+		for r := 0; r < P; r++ {
+			copy(as[r*chunk:], pattern(chunk, byte(me*8+r)))
+		}
+		c.Alltoall(p, as, ar, chunk)
+		ok := true
+		for r := 0; r < P; r++ {
+			if !bytes.Equal(ar[r*chunk:(r+1)*chunk], pattern(chunk, byte(r*8+me))) {
+				ok = false
+			}
+		}
+		a2aOK[me] = ok
+	})
+	for me := 0; me < P; me++ {
+		if !redOK[me] || !a2aOK[me] {
+			t.Fatalf("rank %d: allreduce=%v alltoall=%v", me, redOK[me], a2aOK[me])
+		}
+	}
+}
+
+func TestEagerRendezvousDip(t *testing.T) {
+	// MPI-F's signature artifact: bandwidth just above the 4KB switch is
+	// LOWER than just below it (§4.2: "the bandwidth achieved using
+	// messages of 5 Kbytes is actually lower than with 4 Kbyte messages").
+	bw := func(size int) float64 {
+		var mbps float64
+		runMPIF(2, false, func(p *sim.Proc, c *mpif.Comm) {
+			const iters = 30
+			msg := make([]byte, size)
+			buf := make([]byte, size)
+			if c.Rank() == 0 {
+				c.Send(p, msg, 1, 1)
+				c.Recv(p, buf, 1, 2) // sync
+				t0 := p.Now()
+				for i := 0; i < iters; i++ {
+					c.Send(p, msg, 1, 1)
+				}
+				c.Recv(p, buf, 1, 2)
+				mbps = float64(size*iters) / 1e6 / (p.Now() - t0).Seconds()
+			} else {
+				for i := 0; i < iters+1; i++ {
+					c.Recv(p, buf, 0, 1)
+					if i == 0 || i == iters {
+						c.Send(p, []byte{}, 0, 2)
+					}
+				}
+			}
+		})
+		return mbps
+	}
+	below := bw(4096)
+	above := bw(5000)
+	if above >= below {
+		t.Fatalf("no rendezvous dip: %.2f MB/s at 4096 vs %.2f MB/s at 5000", below, above)
+	}
+	t.Logf("MPI-F switch dip: %.2f MB/s at 4KB -> %.2f MB/s at 5KB", below, above)
+}
+
+func TestWideNodesTunedFaster(t *testing.T) {
+	lat := func(wide bool) float64 {
+		var us float64
+		runMPIF(2, wide, func(p *sim.Proc, c *mpif.Comm) {
+			msg := make([]byte, 8)
+			buf := make([]byte, 8)
+			if c.Rank() == 0 {
+				c.Send(p, msg, 1, 1)
+				c.Recv(p, buf, 1, 1)
+				t0 := p.Now()
+				for i := 0; i < 10; i++ {
+					c.Send(p, msg, 1, 1)
+					c.Recv(p, buf, 1, 1)
+				}
+				us = (p.Now() - t0).Microseconds() / 20
+			} else {
+				for i := 0; i < 11; i++ {
+					c.Recv(p, buf, 0, 1)
+					c.Send(p, msg, 0, 1)
+				}
+			}
+		})
+		return us
+	}
+	thin, wide := lat(false), lat(true)
+	if wide >= thin {
+		t.Fatalf("MPI-F should be faster on wide nodes: thin %.1fus, wide %.1fus", thin, wide)
+	}
+	t.Logf("MPI-F small-message per-hop: thin %.1fus, wide %.1fus", thin, wide)
+}

@@ -1,0 +1,485 @@
+// Package mpl models IBM's Message Passing Library (MPL), the vendor
+// communication layer the paper benchmarks SP AM against. It runs on the
+// same TB2/switch hardware model but pays MPL's software costs: a heavier
+// per-call path on both sides (the kernel-mediated entry the paper blames
+// for the SP's 88 µs round trip) and a per-message credit handshake that
+// keeps its half-power point an order of magnitude above SP AM's.
+//
+// The protocol here is deliberately simpler than SP AM's: the SP switch is
+// lossless and MPL relied on that, so there is no retransmission machinery.
+// Packets use 28-byte headers (228-byte payloads), which is why MPL's
+// asymptotic bandwidth edges out SP AM's 34.3 MB/s slightly (34.6 vs 34.3
+// in the paper).
+package mpl
+
+import (
+	"fmt"
+
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// Calibrated MPL constants. Round trip: 2*(sendOverhead + packet host work
+// + one-way pipe + recvOverhead) = 88 µs on thin nodes.
+var (
+	costSendOverhead = hw.US(11.0) // per mpc_send/bsend call: library+kernel entry
+	costRecvOverhead = hw.US(8.0)  // per message: matching + completion processing
+	costMatch        = hw.US(1.0)  // handing a completed message to a waiting recv
+	costPollEmpty    = hw.US(1.6)  // MPL's internal poll is heavier than SP AM's
+	costPerPkt       = hw.US(1.1)  // per received packet bookkeeping
+	costPktBuild     = hw.US(0.85) // per sent packet build (plus copy + flush)
+	costCreditSend   = hw.US(2.0)  // credit (flow-control) packet emission
+)
+
+const (
+	// HeaderBytes is MPL's packet header; the payload is the rest of the
+	// 256-byte FIFO entry.
+	HeaderBytes = 28
+	// DataBytes is MPL's per-packet payload (228).
+	DataBytes = hw.FIFOEntryBytes - HeaderBytes
+	// AnySource / AnyTag are wildcards for Recv matching.
+	AnySource = -1
+	AnyTag    = -1
+	// commitBatch mirrors the adapter length-array batching.
+	commitBatch = 8
+)
+
+type mKind uint8
+
+const (
+	mData      mKind = iota
+	mCredit          // message-level credit (window of 1 message per pair)
+	mPktCredit       // packet-level credit (keeps a burst inside the FIFO share)
+)
+
+// Packet-level flow control: a sender keeps at most pktWindow data packets
+// unacknowledged toward one destination (the receiver's FIFO share is 64
+// entries per node), and the receiver credits every pktCreditEvery packets.
+// Without this, a single large message (e.g. 131 KB = 575 packets) could
+// overrun the receive FIFO while the receiving process is in a long
+// computation phase — and MPL has no retransmission.
+const (
+	pktWindow      = 32
+	pktCreditEvery = 16
+)
+
+// wire is MPL's packet header content.
+type wire struct {
+	kind   mKind
+	msgID  uint64
+	tag    int
+	total  int
+	offset int
+	last   bool
+}
+
+// System is MPL instantiated across a cluster.
+type System struct {
+	Cluster *hw.Cluster
+	EPs     []*Endpoint
+	// CallScale multiplies the per-call software overheads; MPI-F uses a
+	// leaner, wide-node-tuned entry path over the same transport (<1.0).
+	CallScale float64
+}
+
+// New builds the MPL layer on c.
+func New(c *hw.Cluster) *System {
+	s := &System{Cluster: c, CallScale: 1.0}
+	for _, n := range c.Nodes {
+		ep := &Endpoint{node: n, n: len(c.Nodes), sys: s}
+		ep.tx = make([]txState, len(c.Nodes))
+		ep.rx = make(map[rxKey]*rxMsg)
+		ep.rxSince = make([]int, len(c.Nodes))
+		for i := range ep.tx {
+			ep.tx[i].credit = 1
+		}
+		s.EPs = append(s.EPs, ep)
+	}
+	return s
+}
+
+// Endpoint is one node's MPL attachment.
+type Endpoint struct {
+	node *hw.Node
+	n    int
+	sys  *System
+
+	nextMsg uint64
+	tx      []txState // per destination
+
+	rx         map[rxKey]*rxMsg // partially arrived messages
+	unexpected []*rxMsg         // complete but unmatched messages
+	posted     []*postedRecv    // receives waiting for a matching message
+	rxSince    []int            // data packets received per source since last credit
+	pendCommit int
+
+	// Stats
+	Sends, Recvs int64
+	BytesSent    int64
+}
+
+type rxKey struct {
+	src   int
+	msgID uint64
+}
+
+// rxMsg is a message being reassembled or parked in the unexpected queue.
+type rxMsg struct {
+	src    int
+	tag    int
+	msgID  uint64
+	buf    []byte
+	total  int
+	got    int
+	done   bool
+	direct bool // assembled straight into a posted receive's buffer
+}
+
+// postedRecv is a blocking receive waiting for its message; a message whose
+// first packet finds a matching posted receive is assembled directly into
+// the user buffer (one copy), otherwise it lands in a library buffer and is
+// copied again at match time (the eager early-arrival penalty).
+type postedRecv struct {
+	src, tag int
+	buf      []byte
+	msg      *rxMsg
+}
+
+// txState is per-destination sender state: queued messages awaiting the
+// one-outstanding-message credit.
+type txState struct {
+	q        []*txMsg
+	credit   int // messages we may inject (window of 1)
+	pktAhead int // data packets in flight toward this destination
+}
+
+type txMsg struct {
+	msgID    uint64
+	tag      int
+	data     []byte
+	sent     int
+	injected bool
+}
+
+// Node returns the underlying node.
+func (ep *Endpoint) Node() *hw.Node { return ep.node }
+
+// ID returns this endpoint's node id.
+func (ep *Endpoint) ID() int { return ep.node.ID }
+
+// N returns the number of nodes in the system.
+func (ep *Endpoint) N() int { return ep.n }
+
+func (ep *Endpoint) callCost(base sim.Time) sim.Time {
+	return sim.Time(float64(base) * ep.sys.CallScale)
+}
+
+// Send is mpc_send: it enqueues the message and returns once the library
+// has accepted it, pipelining injection behind per-message credits. Data is
+// captured by reference; the caller must not reuse it until SendsDrained.
+func (ep *Endpoint) Send(p *sim.Proc, dst, tag int, data []byte) {
+	ep.Sends++
+	ep.node.ComputeUnscaled(p, ep.callCost(costSendOverhead))
+	ep.nextMsg++
+	m := &txMsg{msgID: ep.nextMsg, tag: tag, data: data}
+	ep.tx[dst].q = append(ep.tx[dst].q, m)
+	ep.progress(p)
+}
+
+// BSend is mpc_bsend: it blocks until the source buffer is reusable, i.e.
+// the message is fully injected into the adapter.
+func (ep *Endpoint) BSend(p *sim.Proc, dst, tag int, data []byte) {
+	ep.Sends++
+	ep.node.ComputeUnscaled(p, ep.callCost(costSendOverhead))
+	ep.nextMsg++
+	m := &txMsg{msgID: ep.nextMsg, tag: tag, data: data}
+	ep.tx[dst].q = append(ep.tx[dst].q, m)
+	for !m.injected {
+		ep.progress(p)
+		if !m.injected {
+			ep.pollOnce(p, nil)
+		}
+	}
+}
+
+// SendsDrained reports whether all queued sends have been injected.
+func (ep *Endpoint) SendsDrained() bool {
+	for i := range ep.tx {
+		if len(ep.tx[i].q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DrainSends drives the library until every queued send has been injected.
+func (ep *Endpoint) DrainSends(p *sim.Proc) {
+	for !ep.SendsDrained() {
+		ep.pollOnce(p, nil)
+	}
+}
+
+// Recv is mpc_brecv: it blocks until a message matching (src, tag) —
+// either may be a wildcard — has fully arrived in buf, and returns
+// (bytes, actual source, actual tag). A message that arrives after the
+// receive is posted lands directly in buf; an early arrival sits in a
+// library buffer and pays a second copy.
+func (ep *Endpoint) Recv(p *sim.Proc, src, tag int, buf []byte) (int, int, int) {
+	ep.Recvs++
+	if m := ep.matchUnexpected(src, tag); m != nil {
+		n := copy(buf, m.buf[:m.total])
+		ep.node.Memcpy(p, n)
+		ep.node.ComputeUnscaled(p, costMatch)
+		return n, m.src, m.tag
+	}
+	pr := &postedRecv{src: src, tag: tag, buf: buf}
+	ep.posted = append(ep.posted, pr)
+	for pr.msg == nil || !pr.msg.done {
+		ep.pollOnce(p, nil)
+	}
+	ep.node.ComputeUnscaled(p, costMatch)
+	m := pr.msg
+	n := m.total
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if !m.direct {
+		copy(buf, m.buf[:n])
+		ep.node.Memcpy(p, n)
+	}
+	return n, m.src, m.tag
+}
+
+// RecvHandle is a nonblocking posted receive (mpc_irecv-style); it is what
+// MPI-F builds its rendezvous data path on.
+type RecvHandle struct {
+	ep *Endpoint
+	pr *postedRecv
+}
+
+// PostRecv registers a receive without blocking; messages that begin
+// arriving after registration land directly in buf.
+func (ep *Endpoint) PostRecv(p *sim.Proc, src, tag int, buf []byte) *RecvHandle {
+	ep.Recvs++
+	if m := ep.matchUnexpected(src, tag); m != nil {
+		pr := &postedRecv{src: src, tag: tag, buf: buf, msg: m}
+		return &RecvHandle{ep: ep, pr: pr}
+	}
+	pr := &postedRecv{src: src, tag: tag, buf: buf}
+	ep.posted = append(ep.posted, pr)
+	return &RecvHandle{ep: ep, pr: pr}
+}
+
+// Done reports whether the posted receive's message has fully arrived.
+func (h *RecvHandle) Done() bool { return h.pr.msg != nil && h.pr.msg.done }
+
+// Complete finalizes a Done receive (performing the early-arrival copy if
+// needed) and returns (bytes, source, tag).
+func (h *RecvHandle) Complete(p *sim.Proc) (int, int, int) {
+	ep := h.ep
+	m := h.pr.msg
+	ep.node.ComputeUnscaled(p, costMatch)
+	n := m.total
+	if n > len(h.pr.buf) {
+		n = len(h.pr.buf)
+	}
+	if !m.direct {
+		copy(h.pr.buf, m.buf[:n])
+		ep.node.Memcpy(p, n)
+	}
+	return n, m.src, m.tag
+}
+
+// Probe reports whether a matching message has arrived without receiving
+// it, polling once.
+func (ep *Endpoint) Probe(p *sim.Proc, src, tag int) bool {
+	ep.pollOnce(p, nil)
+	for _, m := range ep.unexpected {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ep *Endpoint) matchPosted(src, tag int) *postedRecv {
+	for i, pr := range ep.posted {
+		if (pr.src == AnySource || pr.src == src) && (pr.tag == AnyTag || pr.tag == tag) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			return pr
+		}
+	}
+	return nil
+}
+
+func (ep *Endpoint) matchUnexpected(src, tag int) *rxMsg {
+	for i, m := range ep.unexpected {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// progress injects packets for queued messages as credits and FIFO space
+// allow. One message per destination may be in flight at a time; the
+// receiver's credit releases the next (this per-message handshake is what
+// pushes MPL's n½ into the kilobytes).
+func (ep *Endpoint) progress(p *sim.Proc) {
+	ad := ep.node.Adapter
+	for dst := range ep.tx {
+		ts := &ep.tx[dst]
+		for len(ts.q) > 0 && ts.credit > 0 {
+			m := ts.q[0]
+			for m.sent < len(m.data) || (len(m.data) == 0 && !m.injected) {
+				if ad.SendSpace() == 0 || ts.pktAhead >= pktWindow {
+					// Commit any staged entries before backing off: a
+					// partial batch left uncommitted would never drain and
+					// would pin the FIFO full forever.
+					ep.commit(p, true)
+					return // resume on a later poll
+				}
+				end := m.sent + DataBytes
+				if end > len(m.data) {
+					end = len(m.data)
+				}
+				chunk := m.data[m.sent:end]
+				w := &wire{kind: mData, msgID: m.msgID, tag: m.tag,
+					total: len(m.data), offset: m.sent, last: end == len(m.data)}
+				ep.node.ComputeUnscaled(p, ep.callCost(costPktBuild))
+				if len(chunk) > 0 {
+					ep.node.Memcpy(p, len(chunk))
+				}
+				ep.node.Flush(p, HeaderBytes+len(chunk))
+				ep.pushPkt(p, dst, w, chunk)
+				ts.pktAhead++
+				m.sent = end
+				if len(m.data) == 0 {
+					break
+				}
+			}
+			m.injected = true
+			ts.credit--
+			ts.q = ts.q[1:]
+		}
+	}
+	ep.commit(p, true)
+}
+
+func (ep *Endpoint) pushPkt(p *sim.Proc, dst int, w *wire, data []byte) {
+	ep.BytesSent += int64(HeaderBytes + len(data))
+	ep.node.Adapter.PushSend(&hw.Packet{Dst: dst, HdrBytes: HeaderBytes, Data: data, Msg: w})
+	ep.pendCommit++
+	ep.commit(p, false)
+}
+
+func (ep *Endpoint) commit(p *sim.Proc, force bool) {
+	if ep.pendCommit == 0 {
+		return
+	}
+	if force || ep.pendCommit >= commitBatch {
+		ep.node.Adapter.CommitLengths(p)
+		ep.pendCommit = 0
+	}
+}
+
+// pollOnce drains the receive FIFO once, reassembling messages, issuing
+// credits, and driving pending sends. If completed is non-nil it is invoked
+// for each message that finishes arriving.
+func (ep *Endpoint) pollOnce(p *sim.Proc, completed func(*rxMsg)) {
+	ep.node.ComputeUnscaled(p, ep.callCost(costPollEmpty))
+	ad := ep.node.Adapter
+	for {
+		pkt := ad.RecvPeek()
+		if pkt == nil {
+			break
+		}
+		ad.RecvPop()
+		ep.node.ComputeUnscaled(p, ep.callCost(costPerPkt))
+		w := pkt.Msg.(*wire)
+		switch w.kind {
+		case mCredit:
+			ep.tx[pkt.Src].credit++
+			ep.tx[pkt.Src].pktAhead -= w.total
+		case mPktCredit:
+			ep.tx[pkt.Src].pktAhead -= w.total
+		case mData:
+			ep.rxSince[pkt.Src]++
+			if ep.rxSince[pkt.Src] >= pktCreditEvery && !w.last {
+				ep.sendPktCredit(p, pkt.Src, ep.rxSince[pkt.Src])
+				ep.rxSince[pkt.Src] = 0
+			}
+			key := rxKey{src: pkt.Src, msgID: w.msgID}
+			m := ep.rx[key]
+			if m == nil {
+				m = &rxMsg{src: pkt.Src, tag: w.tag, msgID: w.msgID, total: w.total}
+				// A matching posted receive gets the data in place.
+				if pr := ep.matchPosted(pkt.Src, w.tag); pr != nil {
+					m.direct = true
+					m.buf = pr.buf
+					pr.msg = m
+				} else {
+					m.buf = make([]byte, w.total)
+				}
+				ep.rx[key] = m
+			}
+			if len(pkt.Data) > 0 && w.offset < len(m.buf) {
+				copy(m.buf[w.offset:], pkt.Data)
+				ep.node.Memcpy(p, len(pkt.Data))
+				m.got += len(pkt.Data)
+			}
+			if w.last {
+				m.done = true
+				delete(ep.rx, key)
+				ep.node.ComputeUnscaled(p, ep.callCost(costRecvOverhead))
+				ep.sendCredit(p, pkt.Src)
+				if !m.direct {
+					// The message started arriving before any matching recv
+					// was posted; a recv posted mid-assembly still claims it
+					// here (with the early-arrival copy), otherwise it waits
+					// in the unexpected queue.
+					if pr := ep.matchPosted(pkt.Src, m.tag); pr != nil {
+						pr.msg = m
+					} else {
+						ep.unexpected = append(ep.unexpected, m)
+					}
+				}
+				if completed != nil {
+					completed(m)
+				}
+			}
+		}
+	}
+	ep.progress(p)
+}
+
+func (ep *Endpoint) sendCredit(p *sim.Proc, dst int) {
+	residue := ep.rxSince[dst]
+	ep.rxSince[dst] = 0
+	ep.emitCtl(p, dst, &wire{kind: mCredit, total: residue})
+}
+
+func (ep *Endpoint) sendPktCredit(p *sim.Proc, dst, count int) {
+	ep.emitCtl(p, dst, &wire{kind: mPktCredit, total: count})
+}
+
+// emitCtl pushes a flow-control packet immediately (control traffic
+// bypasses the message queue and its credits).
+func (ep *Endpoint) emitCtl(p *sim.Proc, dst int, w *wire) {
+	ad := ep.node.Adapter
+	if ad.SendSpace() == 0 {
+		// Extremely rare; spin briefly for a slot.
+		for ad.SendSpace() == 0 {
+			p.Advance(hw.US(1))
+		}
+	}
+	ep.node.ComputeUnscaled(p, ep.callCost(costCreditSend))
+	ep.node.Flush(p, HeaderBytes)
+	ep.pushPkt(p, dst, w, nil)
+	ep.commit(p, true)
+}
+
+func (ep *Endpoint) String() string {
+	return fmt.Sprintf("mpl.Endpoint(node %d)", ep.node.ID)
+}

@@ -1,0 +1,163 @@
+package mpl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"spam/internal/bench"
+	"spam/internal/hw"
+	"spam/internal/mpl"
+	"spam/internal/sim"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := mpl.New(c)
+	msg := []byte("the quick brown fox")
+	var got []byte
+	var gotSrc, gotTag int
+	c.Spawn(0, "tx", func(p *sim.Proc, n *hw.Node) {
+		sys.EPs[0].BSend(p, 1, 42, msg)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *hw.Node) {
+		buf := make([]byte, 64)
+		nb, src, tag := sys.EPs[1].Recv(p, mpl.AnySource, mpl.AnyTag, buf)
+		got = buf[:nb]
+		gotSrc, gotTag = src, tag
+	})
+	c.Run()
+	if !bytes.Equal(got, msg) || gotSrc != 0 || gotTag != 42 {
+		t.Fatalf("got %q from %d tag %d", got, gotSrc, gotTag)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := mpl.New(c)
+	var order []int
+	c.Spawn(0, "tx", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[0]
+		ep.BSend(p, 1, 7, []byte("seven"))
+		ep.BSend(p, 1, 8, []byte("eight"))
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[1]
+		buf := make([]byte, 16)
+		// Receive tag 8 first even though 7 arrives first.
+		_, _, tag := ep.Recv(p, 0, 8, buf)
+		order = append(order, tag)
+		_, _, tag = ep.Recv(p, 0, 7, buf)
+		order = append(order, tag)
+	})
+	c.Run()
+	if len(order) != 2 || order[0] != 8 || order[1] != 7 {
+		t.Fatalf("matched order %v", order)
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := mpl.New(c)
+	msg := make([]byte, 100000)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	ok := false
+	c.Spawn(0, "tx", func(p *sim.Proc, n *hw.Node) {
+		sys.EPs[0].BSend(p, 1, 1, msg)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *hw.Node) {
+		buf := make([]byte, len(msg))
+		nb, _, _ := sys.EPs[1].Recv(p, 0, 1, buf)
+		ok = nb == len(msg) && bytes.Equal(buf, msg)
+	})
+	c.Run()
+	if !ok {
+		t.Fatal("large message corrupted")
+	}
+	if c.DroppedPackets() != 0 {
+		t.Fatalf("%d packets dropped", c.DroppedPackets())
+	}
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := mpl.New(c)
+	done := false
+	c.Spawn(0, "tx", func(p *sim.Proc, n *hw.Node) {
+		sys.EPs[0].BSend(p, 1, 5, nil)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *hw.Node) {
+		nb, _, tag := sys.EPs[1].Recv(p, 0, 5, nil)
+		done = nb == 0 && tag == 5
+	})
+	c.Run()
+	if !done {
+		t.Fatal("zero-byte message not delivered")
+	}
+}
+
+func TestPipelinedSendsAllArrive(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := mpl.New(c)
+	const msgs = 40
+	got := 0
+	c.Spawn(0, "tx", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[0]
+		data := make([]byte, 500)
+		for i := 0; i < msgs; i++ {
+			ep.Send(p, 1, 9, data)
+		}
+		ep.DrainSends(p)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *hw.Node) {
+		ep := sys.EPs[1]
+		buf := make([]byte, 500)
+		for i := 0; i < msgs; i++ {
+			ep.Recv(p, 0, 9, buf)
+			got++
+		}
+	})
+	c.Run()
+	if got != msgs {
+		t.Fatalf("received %d of %d", got, msgs)
+	}
+}
+
+// TestCalibMPL pins the paper's MPL numbers: 88 µs round trip, ~34.6 MB/s
+// asymptotic bandwidth, and a non-blocking half-power point in the
+// kilobytes (reconstructed ~2.4 KB; an order of magnitude above SP AM's).
+func TestCalibMPL(t *testing.T) {
+	rtt := bench.MPLRoundTrip(20)
+	if rtt < 83 || rtt > 93 {
+		t.Errorf("MPL RTT = %.2fus, want 88 +/- 5", rtt)
+	} else {
+		t.Logf("MPL RTT = %.2fus (paper: 88.0)", rtt)
+	}
+
+	if testing.Short() {
+		t.Skip("bandwidth sweep is slow")
+	}
+	r := bench.MPLBandwidth(false, 1<<20, 1<<20)
+	if r < 33.5 || r > 35.7 {
+		t.Errorf("MPL r_inf = %.2f MB/s, want ~34.6", r)
+	} else {
+		t.Logf("MPL r_inf = %.2f MB/s (paper: 34.6)", r)
+	}
+
+	cur := bench.MPLBandwidthCurve(false,
+		[]int{228, 512, 1024, 2048, 3072, 4096, 8192, 16384, 65536, 1 << 20}, 1<<20)
+	nh := cur.NHalf()
+	if nh < 1800 || nh > 4200 {
+		t.Errorf("MPL pipelined n_1/2 = %.0f, want 1.8-4.2 KB (an order of magnitude above AM's ~260 B)", nh)
+	} else {
+		t.Logf("MPL pipelined n_1/2 = %.0f bytes (~%.0fx SP AM's)", nh, nh/308)
+	}
+
+	blk := bench.MPLBandwidthCurve(true,
+		[]int{512, 2048, 4096, 8192, 16384, 65536, 1 << 20}, 1<<20)
+	t.Logf("MPL blocking n_1/2 = %.0f bytes (paper: 'greater than' the pipelined point)", blk.NHalf())
+	if blk.NHalf() <= nh {
+		t.Errorf("blocking n_1/2 (%.0f) should exceed pipelined (%.0f)", blk.NHalf(), nh)
+	}
+}

@@ -1,0 +1,9 @@
+package nas
+
+// Test-only exports.
+
+// FFTForTest exposes the radix-2 FFT for validation against a direct DFT.
+func FFTForTest(a []complex128, inverse bool) { fftRadix2(a, inverse) }
+
+// ProcGrid2DForTest exposes the process-grid factorization.
+func ProcGrid2DForTest(p int) (int, int) { return procGrid2D(p) }

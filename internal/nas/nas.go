@@ -1,0 +1,122 @@
+// Package nas implements communication-faithful miniature versions of the
+// NAS Parallel Benchmarks 2.0 kernels the paper runs in Table 6: BT, FT,
+// LU, MG and SP. Each kernel performs real (simplified) arithmetic on
+// distributed state — so a communication bug changes the checksum — while
+// charging the full per-point floating-point cost of the original kernel,
+// and reproduces the original's communication pattern: FT's transpose via
+// MPI_Alltoall, LU's SSOR wavefront pipeline, MG's halo exchanges across a
+// V-cycle, and BT/SP's ADI face exchanges in three sweep directions.
+//
+// Every kernel programs against mpi.PT, so the identical code runs over
+// MPI-AM (MPICH on SP Active Messages) and MPI-F (the vendor MPI model),
+// exactly the comparison of Table 6. Problem sizes and iteration counts
+// are scaled from Class A (documented per kernel); EXPERIMENTS.md records
+// the scaling.
+package nas
+
+import (
+	"encoding/binary"
+	"math"
+
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/sim"
+)
+
+// flopNS is the charged time per floating-point operation on the SP's
+// POWER2 (same calibration as the Split-C benchmarks: ~20 sustained
+// MFLOPS in compiled stencil/solver code).
+const flopNS = 50
+
+// Env is what a kernel runs with on one rank.
+type Env struct {
+	C       mpi.PT
+	Compute func(p *sim.Proc, d sim.Time)
+}
+
+// Flops charges n floating-point operations.
+func (e *Env) Flops(p *sim.Proc, n float64) {
+	e.Compute(p, sim.Time(n*flopNS))
+}
+
+// Result is one kernel execution.
+type Result struct {
+	Bench    string
+	Impl     string
+	Seconds  float64 // simulated wall time of the timed section
+	Checksum float64 // cross-implementation verification value
+}
+
+// Kernel is a runnable NAS kernel.
+type Kernel func(p *sim.Proc, env *Env) float64
+
+// Run executes kernel SPMD over the given comms on cluster, with a barrier
+// fence, and returns wall seconds plus rank-0's checksum.
+func Run(cluster *hw.Cluster, comms []mpi.PT, bench, impl string, kernel Kernel) Result {
+	n := len(comms)
+	sums := make([]float64, n)
+	var t0, t1 sim.Time
+	for i := 0; i < n; i++ {
+		i := i
+		c := comms[i]
+		cluster.Spawn(i, "nas-"+bench, func(p *sim.Proc, nd *hw.Node) {
+			env := &Env{C: c, Compute: func(q *sim.Proc, d sim.Time) { nd.Compute(q, d) }}
+			mpi.Barrier(p, c)
+			if i == 0 {
+				t0 = p.Now()
+			}
+			sums[i] = kernel(p, env)
+			mpi.Barrier(p, c)
+			if i == 0 {
+				t1 = p.Now()
+			}
+		})
+	}
+	cluster.Run()
+	return Result{Bench: bench, Impl: impl, Seconds: (t1 - t0).Seconds(), Checksum: sums[0]}
+}
+
+// Float64 slice <-> byte helpers for MPI buffers.
+
+func putF64s(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+func getF64s(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+func putC128s(dst []byte, src []complex128) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[16*i:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(dst[16*i+8:], math.Float64bits(imag(v)))
+	}
+}
+
+func getC128s(dst []complex128, src []byte) {
+	for i := range dst {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(src[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(src[16*i+8:]))
+		dst[i] = complex(re, im)
+	}
+}
+
+// sumF64Op is the Allreduce combiner for one float64.
+func sumF64Op(dst, src []byte) {
+	a := math.Float64frombits(binary.LittleEndian.Uint64(dst))
+	b := math.Float64frombits(binary.LittleEndian.Uint64(src))
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(a+b))
+}
+
+// allreduceSum sums one float64 across ranks.
+func allreduceSum(p *sim.Proc, c mpi.PT, v float64) float64 {
+	send := make([]byte, 8)
+	recv := make([]byte, 8)
+	binary.LittleEndian.PutUint64(send, math.Float64bits(v))
+	mpi.Allreduce(p, c, send, recv, sumF64Op)
+	return math.Float64frombits(binary.LittleEndian.Uint64(recv))
+}

@@ -1,0 +1,176 @@
+package nas_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/mpif"
+	"spam/internal/nas"
+	"spam/internal/sim"
+)
+
+// runOn executes a kernel on a fresh cluster with the chosen MPI.
+func runOn(impl string, n int, bench string, k nas.Kernel) nas.Result {
+	cluster := hw.NewCluster(hw.DefaultConfig(n))
+	var comms []mpi.PT
+	switch impl {
+	case "mpi-am":
+		sys := mpi.New(cluster, mpi.Optimized())
+		for _, c := range sys.Comms {
+			comms = append(comms, c)
+		}
+	case "mpi-am-unopt":
+		sys := mpi.New(cluster, mpi.Unoptimized())
+		for _, c := range sys.Comms {
+			comms = append(comms, c)
+		}
+	case "mpi-f":
+		sys := mpif.New(cluster)
+		for _, c := range sys.Comms {
+			comms = append(comms, c)
+		}
+	default:
+		panic("unknown impl " + impl)
+	}
+	return nas.Run(cluster, comms, bench, impl, k)
+}
+
+// checkAgree runs the kernel on MPI-AM and MPI-F and requires bit-equal
+// checksums: the kernels do real arithmetic, so any communication bug
+// (lost message, wrong offset, reordering) diverges the values.
+func checkAgree(t *testing.T, name string, n int, k nas.Kernel) (amSec, fSec float64) {
+	t.Helper()
+	am := runOn("mpi-am", n, name, k)
+	f := runOn("mpi-f", n, name, k)
+	if am.Checksum != f.Checksum {
+		t.Fatalf("%s: checksum differs: MPI-AM %v vs MPI-F %v", name, am.Checksum, f.Checksum)
+	}
+	if am.Checksum == 0 || math.IsNaN(am.Checksum) {
+		t.Fatalf("%s: degenerate checksum %v", name, am.Checksum)
+	}
+	if am.Seconds <= 0 || f.Seconds <= 0 {
+		t.Fatalf("%s: non-positive times %v %v", name, am.Seconds, f.Seconds)
+	}
+	t.Logf("%s: MPI-AM %.4fs, MPI-F %.4fs, ratio %.2f (checksum %g)",
+		name, am.Seconds, f.Seconds, am.Seconds/f.Seconds, am.Checksum)
+	return am.Seconds, f.Seconds
+}
+
+func TestFTSmall(t *testing.T) {
+	checkAgree(t, "FT", 4, nas.FT(nas.FTConfig{N: 16, Iters: 2}))
+}
+
+func TestMGSmall(t *testing.T) {
+	checkAgree(t, "MG", 4, nas.MG(nas.MGConfig{N: 32, Iters: 2, Levels: 2}))
+}
+
+func TestLUSmall(t *testing.T) {
+	checkAgree(t, "LU", 4, nas.LU(nas.LUConfig{N: 16, Iters: 3}))
+}
+
+func TestBTSmall(t *testing.T) {
+	cfg := nas.DefaultBT()
+	cfg.N, cfg.Iters = 16, 3
+	checkAgree(t, "BT", 4, nas.ADI(cfg))
+}
+
+func TestSPSmall(t *testing.T) {
+	cfg := nas.DefaultSP()
+	cfg.N, cfg.Iters = 16, 3
+	checkAgree(t, "SP", 4, nas.ADI(cfg))
+}
+
+func TestUnoptimizedAMSlower(t *testing.T) {
+	// The paper's optimizations must matter on a communication-heavy
+	// kernel: unoptimized MPI-AM should not beat the optimized one.
+	cfg := nas.FTConfig{N: 16, Iters: 2}
+	opt := runOn("mpi-am", 4, "FT", nas.FT(cfg))
+	unopt := runOn("mpi-am-unopt", 4, "FT", nas.FT(cfg))
+	if unopt.Checksum != opt.Checksum {
+		t.Fatalf("configs disagree on results: %v vs %v", unopt.Checksum, opt.Checksum)
+	}
+	if unopt.Seconds < opt.Seconds*0.98 {
+		t.Fatalf("unoptimized (%.4fs) beat optimized (%.4fs)", unopt.Seconds, opt.Seconds)
+	}
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	// Validate the radix-2 FFT against a direct DFT on a small input.
+	n := 16
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(float64(i%5)-2, float64(i%3))
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			s += in[j] * cmplx.Rect(1, ang)
+		}
+		want[k] = s
+	}
+	got := append([]complex128(nil), in...)
+	nas.FFTForTest(got, false)
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+	// Round trip.
+	nas.FFTForTest(got, true)
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(got[k]-in[k]) > 1e-9 {
+			t.Fatalf("inverse FFT mismatch at %d", k)
+		}
+	}
+}
+
+func TestProcGrid(t *testing.T) {
+	for _, tc := range []struct{ p, px, py int }{
+		{16, 4, 4}, {4, 2, 2}, {8, 4, 2}, {2, 2, 1}, {1, 1, 1}, {12, 4, 3},
+	} {
+		px, py := nas.ProcGrid2DForTest(tc.p)
+		if px*py != tc.p {
+			t.Fatalf("grid %dx%d != %d", px, py, tc.p)
+		}
+		if px != tc.px || py != tc.py {
+			t.Fatalf("P=%d: got %dx%d, want %dx%d", tc.p, px, py, tc.px, tc.py)
+		}
+	}
+}
+
+var _ = sim.Time(0)
+
+// TestFFTPropertyRoundTrip checks inverse(FFT(x)) == x and Parseval's
+// identity on random inputs.
+func TestFFTPropertyRoundTrip(t *testing.T) {
+	rng := sim.NewRand(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 << (2 + rng.Intn(7)) // 4..512
+		in := make([]complex128, n)
+		var timeEnergy float64
+		for i := range in {
+			in[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			timeEnergy += real(in[i])*real(in[i]) + imag(in[i])*imag(in[i])
+		}
+		x := append([]complex128(nil), in...)
+		nas.FFTForTest(x, false)
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if d := freqEnergy/float64(n) - timeEnergy; d > 1e-9*timeEnergy+1e-12 || d < -1e-9*timeEnergy-1e-12 {
+			t.Fatalf("n=%d: Parseval violated: %v vs %v", n, freqEnergy/float64(n), timeEnergy)
+		}
+		nas.FFTForTest(x, true)
+		for i := range x {
+			if cmplx.Abs(x[i]-in[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip diverged at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+// Proc is a simulated process: a sequential program whose execution is
+// interleaved with others only at explicit virtual-time operations
+// (Advance, Wait, ...). A Proc must only be used from its own goroutine.
+type Proc struct {
+	eng      *Engine
+	name     string
+	daemon   bool
+	resume   chan struct{}
+	finished bool
+	parkedAt string // wait reason while parked on a Cond (diagnostics)
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park returns control to the engine and blocks until re-dispatched.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// Advance charges d nanoseconds of virtual time to this process: the
+// process is descheduled and resumes once the clock has moved d forward.
+// Advance(0) is a yield: same-time events queued before it run first.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.park()
+}
+
+// Yield lets all already-scheduled same-time events run before continuing.
+func (p *Proc) Yield() { p.Advance(0) }
+
+// Cond is a FIFO condition variable for simulated processes. The zero value
+// is ready to use after setting Name (used in deadlock diagnostics).
+type Cond struct {
+	Name    string
+	waiters []*Proc
+}
+
+// Wait parks the calling process until a Signal or Broadcast wakes it.
+// Wakeups are FIFO and never spurious, but as with any condition variable
+// the guarded predicate should be re-checked in a loop: another process may
+// run between the wakeup being scheduled and the waiter resuming.
+func (c *Cond) Wait(p *Proc) {
+	p.parkedAt = c.Name
+	c.waiters = append(c.waiters, p)
+	p.park()
+	p.parkedAt = ""
+}
+
+// Signal wakes the longest-waiting process, if any. The wakeup is scheduled
+// at the current virtual time; it is safe to call from engine callbacks or
+// from other processes.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	p.eng.schedule(p, p.eng.now)
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.eng.schedule(p, p.eng.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiting reports the number of processes parked on c.
+func (c *Cond) Waiting() int { return len(c.waiters) }

@@ -1,0 +1,68 @@
+package sim
+
+// Server models a work-conserving FIFO service stage (a DMA engine, a switch
+// link, a bus): each submitted job occupies the server for its service time,
+// jobs are served in submission order, and a completion callback fires when
+// the job's service ends. Servers run entirely in engine-callback context —
+// no process is needed — which keeps hardware pipelines cheap.
+type Server struct {
+	eng       *Engine
+	busyUntil Time
+
+	// Busy accumulates total occupied time, for utilization accounting.
+	Busy Time
+	// Jobs counts submitted jobs.
+	Jobs int64
+}
+
+// NewServer returns a FIFO server on e.
+func NewServer(e *Engine) *Server { return &Server{eng: e} }
+
+// Submit enqueues a job with the given service time; done (optional) runs in
+// engine context when service completes. It returns the completion time.
+func (s *Server) Submit(service Time, done func()) Time {
+	if service < 0 {
+		service = 0
+	}
+	start := s.eng.now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + service
+	s.Busy += service
+	s.Jobs++
+	if done != nil {
+		s.eng.At(s.busyUntil, done)
+	}
+	return s.busyUntil
+}
+
+// SubmitAt enqueues a job that cannot start before time at (e.g. data not
+// yet arrived); service and completion semantics as Submit.
+func (s *Server) SubmitAt(at, service Time, done func()) Time {
+	if service < 0 {
+		service = 0
+	}
+	start := s.eng.now
+	if at > start {
+		start = at
+	}
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + service
+	s.Busy += service
+	s.Jobs++
+	if done != nil {
+		s.eng.At(s.busyUntil, done)
+	}
+	return s.busyUntil
+}
+
+// IdleAt reports when the server will next be idle (now if idle already).
+func (s *Server) IdleAt() Time {
+	if s.busyUntil < s.eng.now {
+		return s.eng.now
+	}
+	return s.busyUntil
+}

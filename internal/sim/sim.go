@@ -1,0 +1,215 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel. It is the substrate on which the SP hardware model
+// (internal/hw) and everything above it runs.
+//
+// The kernel follows the classic process-interaction style: simulated
+// programs are written as ordinary sequential Go code running in a Proc
+// (backed by a goroutine), and virtual time advances only through the event
+// heap. Exactly one goroutine — the engine or a single process — executes at
+// any instant; control is handed off synchronously through unbuffered
+// channels, so a simulation is fully deterministic and reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Microseconds reports t as a floating-point number of microseconds, the
+// natural unit of the paper's measurements.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a single entry in the event heap. Exactly one of fn and proc is
+// set: fn events run inline in the engine goroutine (callback style, used by
+// hardware pipeline stages), proc events transfer control to a parked
+// process.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break for determinism: FIFO among same-time events
+	fn   func()
+	proc *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event heap and drives all processes.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan struct{} // proc -> engine control handoff
+
+	procs   []*Proc
+	live    int // workload (non-daemon) procs that have not finished
+	running *Proc
+
+	rng *Rand
+
+	// EventsRun counts executed events (performance/sanity diagnostics).
+	EventsRun int64
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random stream derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		rng:    NewRand(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// At schedules fn to run in the engine goroutine at virtual time t. If t is
+// in the past it runs at the current time (after already-queued same-time
+// events).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// schedule queues a wakeup for p at time t.
+func (e *Engine) schedule(p *Proc, t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, proc: p})
+}
+
+// dispatch hands control to p and blocks until p parks or finishes.
+func (e *Engine) dispatch(p *Proc) {
+	if p.finished {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.running = prev
+}
+
+// Run executes events until the heap is empty or the optional horizon is
+// reached (horizon <= 0 means no horizon). It returns an error if workload
+// processes remain blocked when no more events can occur (a deadlock), with
+// a diagnosis of what each blocked process was waiting for.
+func (e *Engine) Run(horizon Time) error {
+	for len(e.events) > 0 {
+		if horizon > 0 && e.events[0].at > horizon {
+			e.now = horizon
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.EventsRun++
+		if ev.fn != nil {
+			ev.fn()
+		}
+		if ev.proc != nil {
+			e.dispatch(ev.proc)
+		}
+	}
+	if e.live > 0 {
+		return e.deadlockError()
+	}
+	return nil
+}
+
+// RunAll runs with no horizon and panics on deadlock; it is the common form
+// for benchmarks and examples where a deadlock is a programming error.
+func (e *Engine) RunAll() {
+	if err := e.Run(0); err != nil {
+		panic(err)
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.finished && !p.daemon && p.parkedAt != "" {
+			stuck = append(stuck, fmt.Sprintf("%s (waiting: %s)", p.name, p.parkedAt))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock at t=%v: %d workload proc(s) blocked: %v",
+		e.now, e.live, stuck)
+}
+
+// Go spawns a workload process named name running fn, starting at the
+// current virtual time. The engine's Run does not terminate successfully
+// while a workload process is blocked.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a daemon process (e.g. a hardware engine) that is allowed
+// to remain blocked forever when the workload drains.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		daemon: daemon,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	if !daemon {
+		e.live++
+	}
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.finished = true
+		if !daemon {
+			e.live--
+		}
+		e.parked <- struct{}{}
+	}()
+	e.schedule(p, e.now)
+	return p
+}

@@ -1,0 +1,310 @@
+package splitc
+
+import (
+	"fmt"
+
+	"spam/internal/sim"
+)
+
+// GlobalPtr names memory anywhere in the machine: a node and a byte offset
+// into that node's global segment.
+type GlobalPtr struct {
+	Node int
+	Off  int
+}
+
+// ReduceOp selects the combining operator of AllReduce.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) combine(a, b uint64) uint64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("splitc: bad reduce op %d", op))
+}
+
+// Control-message kinds (packed into the Ctl word a).
+const (
+	ctlUp uint64 = iota + 1
+	ctlDown
+	ctlScan
+)
+
+// RT is one process's Split-C runtime state.
+type RT struct {
+	T Transport
+
+	outstanding int   // split-phase ops issued and not yet completed
+	storesSent  int64 // store payload bytes this node has issued
+
+	gen      uint32 // collective generation counter
+	upVal    map[uint32]uint64
+	upCnt    map[uint32]int
+	downOK   map[uint32]uint64
+	scanPend map[uint32]map[int]uint64 // rank 0: scan contributions per gen
+
+	// CommTime accumulates virtual time spent inside communication
+	// operations (including synchronization waits); the benchmarks report
+	// total − comm as computation time, the paper's Figure-4 split.
+	CommTime sim.Time
+}
+
+// NewRT wraps a transport; the platform calls this for each node.
+func NewRT(t Transport) *RT {
+	rt := &RT{
+		T:        t,
+		upVal:    make(map[uint32]uint64),
+		upCnt:    make(map[uint32]int),
+		downOK:   make(map[uint32]uint64),
+		scanPend: make(map[uint32]map[int]uint64),
+	}
+	t.SetCtlHandler(rt.handleCtl)
+	return rt
+}
+
+// ID is this process's rank.
+func (rt *RT) ID() int { return rt.T.ID() }
+
+// N is the number of processes.
+func (rt *RT) N() int { return rt.T.N() }
+
+// Mem returns this node's global segment.
+func (rt *RT) Mem() []byte { return rt.T.LocalMem() }
+
+// Compute charges local computation (machine-scaled).
+func (rt *RT) Compute(p *sim.Proc, d sim.Time) { rt.T.Compute(p, d) }
+
+// Poll services the network once (counted as communication time).
+func (rt *RT) Poll(p *sim.Proc) {
+	t0 := p.Now()
+	rt.T.Poll(p)
+	rt.CommTime += p.Now() - t0
+}
+
+// PutAsync issues a split-phase write of data to gp; complete after Sync.
+func (rt *RT) PutAsync(p *sim.Proc, gp GlobalPtr, data []byte) {
+	t0 := p.Now()
+	rt.outstanding++
+	rt.T.Put(p, gp.Node, gp.Off, data, func() { rt.outstanding-- })
+	rt.CommTime += p.Now() - t0
+}
+
+// GetAsync issues a split-phase read of n bytes from gp into the local
+// segment at loff; complete after Sync.
+func (rt *RT) GetAsync(p *sim.Proc, gp GlobalPtr, loff, n int) {
+	t0 := p.Now()
+	rt.outstanding++
+	rt.T.Get(p, gp.Node, gp.Off, loff, n, func() { rt.outstanding-- })
+	rt.CommTime += p.Now() - t0
+}
+
+// Sync blocks until every split-phase operation this process issued has
+// completed (Split-C's sync()).
+func (rt *RT) Sync(p *sim.Proc) {
+	t0 := p.Now()
+	for rt.outstanding > 0 {
+		rt.T.Poll(p)
+	}
+	rt.CommTime += p.Now() - t0
+}
+
+// Store issues Split-C's one-way store: no sender-side completion; global
+// completion is established by AllStoreSync.
+func (rt *RT) Store(p *sim.Proc, gp GlobalPtr, data []byte) {
+	t0 := p.Now()
+	rt.storesSent += int64(len(data))
+	rt.T.Store(p, gp.Node, gp.Off, data)
+	rt.CommTime += p.Now() - t0
+}
+
+// Read performs a blocking remote read of n bytes from gp into the local
+// segment at loff.
+func (rt *RT) Read(p *sim.Proc, gp GlobalPtr, loff, n int) {
+	rt.GetAsync(p, gp, loff, n)
+	rt.Sync(p)
+}
+
+// Write performs a blocking remote write.
+func (rt *RT) Write(p *sim.Proc, gp GlobalPtr, data []byte) {
+	rt.PutAsync(p, gp, data)
+	rt.Sync(p)
+}
+
+// handleCtl is the collective-tree message handler. Word a packs
+// (kind, gen, op); word b carries the value.
+func (rt *RT) handleCtl(p *sim.Proc, src int, a, b uint64) {
+	kind := a & 0xff
+	gen := uint32(a >> 8 & 0xffffffff)
+	op := ReduceOp(a >> 40 & 0xff)
+	switch kind {
+	case ctlUp:
+		if cur, ok := rt.upVal[gen]; ok {
+			rt.upVal[gen] = op.combine(cur, b)
+		} else {
+			rt.upVal[gen] = b
+		}
+		rt.upCnt[gen]++
+	case ctlDown:
+		rt.downOK[gen] = b
+	case ctlScan:
+		rank := int(a >> 48)
+		m := rt.scanPend[gen]
+		if m == nil {
+			m = make(map[int]uint64)
+			rt.scanPend[gen] = m
+		}
+		m[rank] = b
+	}
+}
+
+func packCtl(kind uint64, gen uint32, op ReduceOp) uint64 {
+	return kind | uint64(gen)<<8 | uint64(op)<<40
+}
+
+func (rt *RT) children(id int) []int {
+	var cs []int
+	if c := 2*id + 1; c < rt.N() {
+		cs = append(cs, c)
+	}
+	if c := 2*id + 2; c < rt.N() {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// AllReduce combines val across all processes with op and returns the
+// result everywhere (binary-tree up/down sweep over control messages).
+func (rt *RT) AllReduce(p *sim.Proc, op ReduceOp, val uint64) uint64 {
+	t0 := p.Now()
+	defer func() { rt.CommTime += p.Now() - t0 }()
+
+	gen := rt.gen
+	rt.gen++
+	id := rt.ID()
+	kids := rt.children(id)
+
+	// Fold in our own contribution.
+	if cur, ok := rt.upVal[gen]; ok {
+		rt.upVal[gen] = op.combine(cur, val)
+	} else {
+		rt.upVal[gen] = val
+	}
+	// Wait for the children's partial results.
+	for rt.upCnt[gen] < len(kids) {
+		rt.T.Poll(p)
+	}
+	var result uint64
+	if id == 0 {
+		result = rt.upVal[gen]
+	} else {
+		parent := (id - 1) / 2
+		rt.T.Ctl(p, parent, packCtl(ctlUp, gen, op), rt.upVal[gen])
+		for {
+			if v, ok := rt.downOK[gen]; ok {
+				result = v
+				break
+			}
+			rt.T.Poll(p)
+		}
+	}
+	for _, c := range kids {
+		rt.T.Ctl(p, c, packCtl(ctlDown, gen, op), result)
+	}
+	delete(rt.upVal, gen)
+	delete(rt.upCnt, gen)
+	delete(rt.downOK, gen)
+	return result
+}
+
+// Barrier blocks until every process has entered it.
+func (rt *RT) Barrier(p *sim.Proc) { rt.AllReduce(p, OpSum, 0) }
+
+// Scan returns the inclusive prefix reduction of val across ranks: rank i
+// receives op(val_0, ..., val_i). It runs as a gather up the collective
+// tree followed by rank-indexed sends from the root, which is how Split-C's
+// all_scan family was commonly implemented on small machines.
+func (rt *RT) Scan(p *sim.Proc, op ReduceOp, val uint64) uint64 {
+	t0 := p.Now()
+	defer func() { rt.CommTime += p.Now() - t0 }()
+
+	n := rt.N()
+	me := rt.ID()
+	// Everyone contributes via stores into rank 0's scan area at a
+	// reserved negative... we have no reserved region, so use Ctl: send
+	// (rank, value) pairs to rank 0, which computes prefixes and sends
+	// each rank its result.
+	gen := rt.gen
+	rt.gen++
+	if me != 0 {
+		rt.T.Ctl(p, 0, packCtl(ctlScan, gen, op)|uint64(me)<<48, val)
+		for {
+			if v, ok := rt.downOK[gen]; ok {
+				delete(rt.downOK, gen)
+				return v
+			}
+			rt.T.Poll(p)
+		}
+	}
+	// Rank 0: collect the other n-1 contributions (tagged with rank;
+	// early contributions to the NEXT scan are kept per-generation).
+	for len(rt.scanPend[gen]) < n-1 {
+		rt.T.Poll(p)
+	}
+	vals := rt.scanPend[gen]
+	delete(rt.scanPend, gen)
+	acc := val
+	for i := 1; i < n; i++ {
+		acc = op.combine(acc, vals[i])
+		rt.T.Ctl(p, i, packCtl(ctlDown, gen, op), acc)
+	}
+	return val
+}
+
+// AllStoreSync is Split-C's all_store_sync: a global barrier that also
+// guarantees every store issued anywhere has been deposited. It iterates a
+// (sent, received) global sum until the two agree.
+func (rt *RT) AllStoreSync(p *sim.Proc) {
+	// Communication time is accumulated by the AllReduce and Poll calls
+	// themselves; wrapping them again would double-count.
+	for {
+		sent := rt.AllReduce(p, OpSum, uint64(rt.storesSent))
+		recvd := rt.AllReduce(p, OpSum, uint64(rt.T.StoredBytes()))
+		if sent == recvd {
+			break
+		}
+		rt.Poll(p)
+	}
+}
+
+// BroadcastBytes copies buf (significant on root) from root's segment
+// region [off, off+n) to the same region on every node. It is implemented
+// with stores plus a barrier, as Split-C programs typically do.
+func (rt *RT) BroadcastBytes(p *sim.Proc, root, off, n int) {
+	if rt.ID() == root {
+		data := rt.Mem()[off : off+n]
+		for d := 0; d < rt.N(); d++ {
+			if d == root {
+				continue
+			}
+			rt.Store(p, GlobalPtr{Node: d, Off: off}, data)
+		}
+	}
+	rt.AllStoreSync(p)
+}

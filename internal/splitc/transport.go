@@ -1,0 +1,68 @@
+// Package splitc implements the Split-C runtime of Section 3: a global
+// address space with split-phase remote access, synchronization, and the
+// one-way "store" operation, layered over an abstract Active-Message-style
+// transport. The same runtime (and the same application benchmarks) runs
+// over SP AM, over IBM MPL (the paper's MPL port of Split-C), and over the
+// parameterized Table-4 machines (CM-5, Meiko CS-2, U-Net/ATM), which is
+// exactly how the paper's cross-machine comparison is constructed.
+package splitc
+
+import "spam/internal/sim"
+
+// Transport is the communication substrate one Split-C process runs on.
+// Addresses are byte offsets into each node's registered global segment.
+type Transport interface {
+	// ID is this node's rank; N is the number of nodes.
+	ID() int
+	N() int
+
+	// LocalMem returns this node's global-segment memory.
+	LocalMem() []byte
+
+	// Poll services the network, invoking completion callbacks and the
+	// control handler.
+	Poll(p *sim.Proc)
+
+	// Ctl sends a small one-way control message (two 64-bit words) used by
+	// the runtime for barriers and reductions; the receiver's installed
+	// handler runs during its Poll.
+	Ctl(p *sim.Proc, dst int, a, b uint64)
+
+	// SetCtlHandler installs the runtime's control-message dispatcher.
+	// Must be called before any traffic.
+	SetCtlHandler(fn func(p *sim.Proc, src int, a, b uint64))
+
+	// Put writes data to dst's global segment at roff; onDone runs on this
+	// node once the write is complete (split-phase).
+	Put(p *sim.Proc, dst, roff int, data []byte, onDone func())
+
+	// Get reads n bytes from dst's segment at roff into this node's
+	// segment at loff; onDone runs when the data has arrived.
+	Get(p *sim.Proc, dst, roff, loff, n int, onDone func())
+
+	// Store writes data to dst's segment at roff with no sender-side
+	// completion; the receiver's StoredBytes counter advances when the
+	// data lands (Split-C's one-way store, synchronized globally by
+	// all_store_sync).
+	Store(p *sim.Proc, dst, roff int, data []byte)
+
+	// StoredBytes reports how many store payload bytes have landed here.
+	StoredBytes() int64
+
+	// Compute charges local computation time, scaled to this machine's
+	// CPU speed relative to the SP's POWER2.
+	Compute(p *sim.Proc, d sim.Time)
+}
+
+// Platform builds a cluster of transports and runs SPMD programs on it;
+// each implementation fixes the machine (SP+AM, SP+MPL, or a Table-4
+// parameterized machine).
+type Platform interface {
+	// N reports the number of processors.
+	N() int
+	// Name identifies the machine for result tables.
+	Name() string
+	// Run executes program on every node and drives the simulation to
+	// completion, returning the final virtual time.
+	Run(program func(p *sim.Proc, rt *RT)) sim.Time
+}
