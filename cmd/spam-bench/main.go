@@ -8,6 +8,7 @@
 //	spam-bench -table 2      # am_request_N / am_reply_N costs
 //	spam-bench -table 3      # round trips + r_inf + n_1/2 summary
 //	spam-bench -figure 3     # the six bandwidth curves
+//	spam-bench -chaos        # bandwidth degradation vs packet-loss rate
 package main
 
 import (
@@ -23,11 +24,14 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate figure 3")
 	total := flag.Int("total", 1<<20, "bytes moved per bandwidth measurement")
 	stats := flag.Bool("stats", false, "run a mixed workload and dump protocol statistics")
+	chaos := flag.Bool("chaos", false, "sweep packet-loss rates and print bandwidth degradation")
 	flag.Parse()
 
 	switch {
 	case *stats:
 		bench.ProtocolStats(os.Stdout)
+	case *chaos:
+		bench.ChaosTable(os.Stdout, *total)
 	case *table == 2:
 		fmt.Println("# Table 2: cost of am_request_N / am_reply_N calls (us)")
 		fmt.Printf("%-4s %12s %12s\n", "N", "am_request", "am_reply")

@@ -58,6 +58,10 @@ type Stats struct {
 	Probes              int64
 	Polls, EmptyPolls   int64
 	Duplicates          int64
+	// CorruptDropped counts received packets discarded for a wire-checksum
+	// mismatch (injected corruption); the data is recovered by
+	// retransmission like any other loss.
+	CorruptDropped int64
 }
 
 // System is the AM layer instantiated across a cluster: one Endpoint per

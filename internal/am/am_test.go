@@ -139,18 +139,18 @@ func TestStoreLarge(t *testing.T)     { storeBytes(t, 256*1024, nil) }
 
 func TestStoreWithPacketLoss(t *testing.T) {
 	k := 0
-	storeBytes(t, am.ChunkBytes*4+500, func(pkt *hw.Packet) bool {
+	storeBytes(t, am.ChunkBytes*4+500, hw.DropIf(func(pkt *hw.Packet) bool {
 		k++
 		return k%17 == 0 // drop ~6% of all packets, including acks
-	})
+	}))
 }
 
 func TestStoreWithBurstLoss(t *testing.T) {
 	k := 0
-	storeBytes(t, am.ChunkBytes*3, func(pkt *hw.Packet) bool {
+	storeBytes(t, am.ChunkBytes*3, hw.DropIf(func(pkt *hw.Packet) bool {
 		k++
 		return k >= 20 && k < 30 // a 10-packet burst
-	})
+	}))
 }
 
 func TestGetRoundTrip(t *testing.T) {
@@ -197,10 +197,10 @@ func TestGetWithLoss(t *testing.T) {
 	local := make([]byte, len(remote))
 	lseg := c.Nodes[0].Mem.Add(local)
 	k := 0
-	c.Switch.Fault = func(pkt *hw.Packet) bool {
+	c.Switch.Fault = hw.DropIf(func(pkt *hw.Packet) bool {
 		k++
 		return k%11 == 0
-	}
+	})
 	done := false
 	c.Spawn(0, "a", func(p *sim.Proc, n *hw.Node) {
 		ep := sys.EPs[0]
@@ -362,7 +362,7 @@ func TestExactlyOnceUnderHeavyLoss(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		c, sys := pair()
 		rng := sim.NewRand(uint64(trial) + 99)
-		c.Switch.Fault = func(pkt *hw.Packet) bool { return rng.Intn(10) == 0 }
+		c.Switch.Fault = hw.DropIf(func(pkt *hw.Packet) bool { return rng.Intn(10) == 0 })
 		var seen []uint32
 		h := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
 			seen = append(seen, args[0])
@@ -434,17 +434,15 @@ func TestKeepAliveRecoversLostAck(t *testing.T) {
 	c, sys := pair()
 	dst := make([]byte, 1000)
 	seg := c.Nodes[1].Mem.Add(dst)
-	dropUntil := int64(0)
 	nAcks := 0
-	c.Switch.Fault = func(pkt *hw.Packet) bool {
+	c.Switch.Fault = hw.DropIf(func(pkt *hw.Packet) bool {
 		// Drop the first few packets from node 1 (acks for the store).
 		if pkt.Src == 1 && nAcks < 3 {
 			nAcks++
 			return true
 		}
-		_ = dropUntil
 		return false
-	}
+	})
 	finished := false
 	c.Spawn(0, "a", func(p *sim.Proc, n *hw.Node) {
 		ep := sys.EPs[0]

@@ -1,0 +1,39 @@
+package am
+
+import "spam/internal/sim"
+
+// Quiescent reports whether the whole AM system has no protocol work in
+// flight: every channel's injected packets are acknowledged, no operation
+// is queued or awaiting retransmission, no bulk op is pending, and no
+// staged FIFO entries await commit. Because the simulation is a single
+// event loop, this global snapshot is exact and costs no simulated time.
+func (s *System) Quiescent() bool {
+	for _, ep := range s.EPs {
+		if len(ep.ops) != 0 || ep.pendingCommit != 0 {
+			return false
+		}
+		for _, ps := range ep.peers {
+			for ch := 0; ch < 2; ch++ {
+				tc := &ps.tx[ch]
+				if tc.inFlight() != 0 || len(tc.q) != 0 || len(tc.retx) != 0 || len(tc.waitAck) != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Drain polls until the whole system is quiescent. Reliability in AM lives
+// in Poll: a node that stops polling also stops retransmitting, so a
+// process that finishes its own communication and exits can wedge a peer
+// that still needs one of its packets resent. Calling Drain on every node
+// after the program's last communication closes that gap — each node keeps
+// servicing the wire until no packet anywhere awaits delivery or
+// acknowledgement. Under fault injection this is what makes "the run
+// completes" a global property rather than a per-node one.
+func (ep *Endpoint) Drain(p *sim.Proc) {
+	for !ep.sys.Quiescent() {
+		ep.Poll(p)
+	}
+}

@@ -46,6 +46,16 @@ func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) {
 	m := pkt.Msg.(*msg)
 	src := pkt.Src
 	ep.Stats.PacketsReceived++
+	// Wire checksum first: a corrupted packet must never reach a handler,
+	// advance an ack horizon, or touch reassembly state. Discarding it here
+	// turns corruption into loss, which the NACK/keep-alive machinery
+	// already recovers (sequenced packets via go-back-N on the next gap,
+	// control packets via probe/refresh).
+	if m.csum != m.wireChecksum(pkt.Data) {
+		ep.Stats.CorruptDropped++
+		ep.node.ComputeUnscaled(p, costPerMsg) // the host still examined it
+		return
+	}
 	ps := ep.peer(src)
 	ps.emptyStreak = 0
 
@@ -273,11 +283,12 @@ func (ep *Endpoint) runBulkHandler(p *sim.Proc, h HandlerID, tok Token, addr hw.
 // explicitAcks emits explicit acknowledgements where piggybacking did not
 // happen: after each completed chunk, and whenever a quarter of the window
 // of received packets is still unacknowledged (paper §2.2).
+// explicitAcks covers the self-channel too: loopback packets carry real
+// sequence numbers, and without acks a node's stores to itself pin their
+// bulk ops (and under fault injection a dropped loopback packet could
+// never be retransmitted).
 func (ep *Endpoint) explicitAcks(p *sim.Proc) {
 	for id, ps := range ep.peers {
-		if id == ep.ID() {
-			continue
-		}
 		need := ps.forceAck ||
 			ps.rx[chReq].unackedPkts >= ep.sys.Opt.wndRequest()/4 ||
 			ps.rx[chRep].unackedPkts >= ep.sys.Opt.wndReply()/4
@@ -292,9 +303,6 @@ func (ep *Endpoint) explicitAcks(p *sim.Proc) {
 // packets triggers retransmission (paper §2.2's keep-alive protocol).
 func (ep *Endpoint) keepAlive(p *sim.Proc) {
 	for id, ps := range ep.peers {
-		if id == ep.ID() {
-			continue
-		}
 		if len(ps.tx[chReq].saved) == 0 && len(ps.tx[chRep].saved) == 0 {
 			ps.emptyStreak = 0
 			continue

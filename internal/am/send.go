@@ -360,8 +360,12 @@ func (ep *Endpoint) injectSaved(p *sim.Proc, dst int, sp savedPkt) {
 	ep.push(dst, &m, sp.data, wire)
 }
 
-// push places the packet in the send FIFO (caller verified space).
+// push places the packet in the send FIFO (caller verified space). The
+// wire checksum is stamped here — after ack piggybacking — so every
+// transmission, including retransmissions, carries a checksum over its
+// final header contents.
 func (ep *Endpoint) push(dst int, m *msg, data []byte, wire int) {
+	m.csum = m.wireChecksum(data)
 	ep.Stats.PacketsSent++
 	ep.Stats.BytesSent += int64(wire)
 	ep.pendingCommit++

@@ -26,9 +26,9 @@ func TestProtocolSoupUnderLoss(t *testing.T) {
 
 			faultRng := sim.NewRand(uint64(trial)*7919 + 13)
 			lossPct := trial * 3 // 0%, 3%, ..., 15%
-			c.Switch.Fault = func(pkt *hw.Packet) bool {
+			c.Switch.Fault = hw.DropIf(func(pkt *hw.Packet) bool {
 				return lossPct > 0 && faultRng.Intn(100) < lossPct
-			}
+			})
 
 			// Each node's landing zone: opsPerNode slots of 512B per peer.
 			const slot = 512

@@ -277,7 +277,7 @@ func ProtocolStats(w io.Writer) {
 	c := hw.NewCluster(hw.DefaultConfig(nn))
 	sys := am.New(c)
 	rng := sim.NewRand(123)
-	c.Switch.Fault = func(pkt *hw.Packet) bool { return rng.Intn(200) == 0 }
+	c.Switch.Fault = hw.DropIf(func(pkt *hw.Packet) bool { return rng.Intn(200) == 0 })
 
 	h := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {})
 	bh := sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {})

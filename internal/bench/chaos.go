@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spam/internal/am"
+	"spam/internal/faults"
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// amBandwidthUnder measures one-way async-store bandwidth moving total
+// bytes in n-byte operations with the given fault plan applied to the
+// 2-node cluster (nil plan = lossless). It returns the delivered MB/s —
+// timed until every operation's acknowledgement is back, so retransmission
+// stalls count against the number — plus the aggregate protocol counters
+// and the switch's injected-fault tally for the run.
+func amBandwidthUnder(plan *faults.Plan, n, total int) (mbps float64, st am.Stats, lr hw.LossReport) {
+	if n > total {
+		total = n
+	}
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	plan.Apply(c)
+	finished := false
+
+	remoteSeg := c.Nodes[1].Mem.Add(make([]byte, n))
+	ops := total / n
+	if ops == 0 {
+		ops = 1
+	}
+
+	c.Spawn(0, "mover", func(p *sim.Proc, n0 *hw.Node) {
+		ep := sys.EPs[0]
+		src := make([]byte, n)
+		raddr := hw.Addr{Seg: remoteSeg}
+		t0 := p.Now()
+		completed := 0
+		for i := 0; i < ops; i++ {
+			ep.StoreAsync(p, 1, raddr, src, am.NoHandler, 0,
+				func(q *sim.Proc, e *am.Endpoint) { completed++ })
+		}
+		for completed < ops {
+			ep.Poll(p)
+		}
+		elapsed := (p.Now() - t0).Seconds()
+		mbps = float64(ops*n) / 1e6 / elapsed
+		finished = true
+		ep.Drain(p)
+	})
+	c.Spawn(1, "peer", func(p *sim.Proc, n1 *hw.Node) {
+		ep := sys.EPs[1]
+		for !finished {
+			ep.Poll(p)
+		}
+		ep.Drain(p)
+	})
+	c.Run()
+	return mbps, sys.Totals(), c.Losses()
+}
+
+// ChaosTable sweeps uniform random packet-loss rates and prints the
+// delivered async-store bandwidth under each, alongside the recovery work
+// the protocol performed (retransmissions, NACKs, keep-alive probes). The
+// 0% row is the lossless baseline the others are normalized against.
+func ChaosTable(w io.Writer, total int) {
+	const n = 1 << 16
+	rates := []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05}
+	fmt.Fprintf(w, "# chaos: async-store bandwidth vs uniform packet-loss rate (%d bytes in %d-byte ops)\n", total, n)
+	fmt.Fprintf(w, "%-8s %10s %9s %9s %7s %7s %9s\n",
+		"loss", "MB/s", "vs 0%", "retrans", "nacks", "probes", "dropped")
+	var base float64
+	for _, r := range rates {
+		var plan *faults.Plan
+		if r > 0 {
+			plan = faults.NewPlan(fmt.Sprintf("loss-%.3f", r),
+				0xc4a05+uint64(r*1e6), faults.Loss(r))
+		}
+		mbps, st, lr := amBandwidthUnder(plan, n, total)
+		if base == 0 {
+			base = mbps
+		}
+		fmt.Fprintf(w, "%7.1f%% %10.2f %8.1f%% %9d %7d %7d %9d\n",
+			r*100, mbps, 100*mbps/base, st.Retransmits, st.NacksSent,
+			st.Probes, lr.FaultDropped)
+	}
+}

@@ -1,0 +1,327 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"spam/internal/am"
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+func TestRuleMatching(t *testing.T) {
+	pkt := func(src, dst int) *hw.Packet { return &hw.Packet{Src: src, Dst: dst} }
+	cases := []struct {
+		name string
+		r    *Rule
+		now  sim.Time
+		pkt  *hw.Packet
+		want bool
+	}{
+		{"any", Loss(1), 0, pkt(0, 1), true},
+		{"src match", Loss(1).FromNode(0), 0, pkt(0, 1), true},
+		{"src miss", Loss(1).FromNode(2), 0, pkt(0, 1), false},
+		{"dst match", Loss(1).ToNode(1), 0, pkt(0, 1), true},
+		{"dst miss", Loss(1).ToNode(0), 0, pkt(0, 1), false},
+		{"before window", Loss(1).Between(100, 200), 99, pkt(0, 1), false},
+		{"in window", Loss(1).Between(100, 200), 100, pkt(0, 1), true},
+		{"after window", Loss(1).Between(100, 200), 200, pkt(0, 1), false},
+		{"class miss on untyped pkt", Loss(1).OnClass("ack"), 0, pkt(0, 1), false},
+	}
+	for _, tc := range cases {
+		if got := tc.r.matches(tc.now, tc.pkt); got != tc.want {
+			t.Errorf("%s: matches = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRuleClassMatching(t *testing.T) {
+	r := Loss(1).OnClass("ack", "reply")
+	for class, want := range map[string]bool{"ack": true, "reply": true, "request": false} {
+		p := &hw.Packet{Msg: fakeClass(class)}
+		if got := r.matches(0, p); got != want {
+			t.Errorf("class %q: matches = %v, want %v", class, got, want)
+		}
+	}
+}
+
+type fakeClass string
+
+func (f fakeClass) FaultClass() string { return string(f) }
+
+// TestBurstSemantics drives synthetic packets through a compiled burst rule
+// and checks drops come in runs of the configured length (back-to-back
+// bursts can merge, so runs are multiples of it).
+func TestBurstSemantics(t *testing.T) {
+	const burst = 4
+	eng := sim.NewEngine(1)
+	f := NewPlan("b", 7, BurstLoss(0.05, burst)).Compile(eng)
+	run, drops := 0, 0
+	for i := 0; i < 5000; i++ {
+		v := f(&hw.Packet{Src: 0, Dst: 1})
+		if v.Action == hw.ActDrop {
+			run++
+			drops++
+			continue
+		}
+		if run%burst != 0 {
+			t.Fatalf("packet %d ended a drop run of length %d, want a multiple of %d", i, run, burst)
+		}
+		run = 0
+	}
+	if drops == 0 {
+		t.Fatal("burst rule never fired in 5000 packets")
+	}
+}
+
+// TestPlanDeterminism compiles the same plan twice and checks the verdict
+// sequence over a synthetic packet stream is identical.
+func TestPlanDeterminism(t *testing.T) {
+	mk := func() []hw.FaultAction {
+		eng := sim.NewEngine(1)
+		f := NewPlan("d", 42, Loss(0.1), Duplicate(0.1), Corrupt(0.1)).Compile(eng)
+		var out []hw.FaultAction
+		for i := 0; i < 2000; i++ {
+			out = append(out, f(&hw.Packet{Src: 0, Dst: 1}).Action)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs between identical compilations: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRuleOrderIndependentStreams checks that appending a rule does not
+// perturb the firing pattern of the rules before it (per-rule forked rngs).
+func TestRuleOrderIndependentStreams(t *testing.T) {
+	fire := func(plan *Plan) []bool {
+		f := plan.Compile(sim.NewEngine(1))
+		var out []bool
+		for i := 0; i < 1000; i++ {
+			out = append(out, f(&hw.Packet{Src: 0, Dst: 1}).Action == hw.ActDrop)
+		}
+		return out
+	}
+	// The second plan's extra rule only matches node 5 traffic, so it never
+	// fires here — the drop pattern must be unchanged.
+	a := fire(NewPlan("p", 9, Loss(0.1)))
+	b := fire(NewPlan("p", 9, Loss(0.1), Duplicate(0.5).FromNode(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop pattern diverged at packet %d after appending an unrelated rule", i)
+		}
+	}
+}
+
+// storeUnder runs a 2-node AM bulk store under the given plan and returns
+// the system plus the landing zone for inspection.
+func storeUnder(t *testing.T, plan *Plan, size int) (*am.System, []byte, []byte) {
+	t.Helper()
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	plan.Apply(c)
+
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	dst := make([]byte, size)
+	seg := c.Nodes[1].Mem.Add(dst)
+
+	done := false
+	bh := sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {
+		done = true
+	})
+	c.Spawn(0, "tx", func(p *sim.Proc, nd *hw.Node) {
+		sys.EPs[0].Store(p, 1, hw.Addr{Seg: seg}, src, bh, 0)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, nd *hw.Node) {
+		for !done {
+			sys.EPs[1].Poll(p)
+		}
+	})
+	c.Run()
+	return sys, src, dst
+}
+
+// TestCorruptedPacketsNeverDelivered is the corruption-safety property: under
+// heavy bit corruption every damaged packet must be caught by the wire
+// checksum (counted in CorruptDropped), never handed to a handler, and the
+// transfer must still complete intact via retransmission.
+func TestCorruptedPacketsNeverDelivered(t *testing.T) {
+	sys, src, dst := storeUnder(t, NewPlan("corrupt", 3, Corrupt(0.15)), 64<<10)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("payload damaged end-to-end: corruption leaked past the checksum")
+	}
+	stats := sys.Totals()
+	faults := sys.Cluster.Switch.Faults
+	if faults.Corrupted == 0 {
+		t.Fatal("no corruption was injected")
+	}
+	if stats.CorruptDropped == 0 {
+		t.Fatal("no packets were checksum-discarded despite injected corruption")
+	}
+	// Every corrupted packet that reached a receiver must have been
+	// discarded; some corrupt verdicts yield no deliverable packet at all.
+	if stats.CorruptDropped > faults.Corrupted {
+		t.Fatalf("discarded %d > corrupted %d: spurious checksum failures",
+			stats.CorruptDropped, faults.Corrupted)
+	}
+	if stats.Retransmits == 0 {
+		t.Fatal("transfer completed without retransmits despite corruption discards")
+	}
+}
+
+// TestReplyChannelStarvation (the reply-starvation satellite): a plan that
+// drops only reply-channel traffic — replies and explicit acks — during an
+// initial window must not wedge a request/reply workload. The keep-alive
+// probe path has to resynchronize both channels once the window lifts.
+func TestReplyChannelStarvation(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	NewPlan("reply-starve", 11,
+		Loss(1).OnClass("reply", "ack").Between(0, 800*hw.Microsecond),
+	).Apply(c)
+
+	const nReq = 8
+	gotReplies := 0
+	var hReply am.HandlerID
+	hReq := sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Reply(p, tok, hReply, args[0])
+	})
+	hReply = sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		gotReplies++
+	})
+
+	finished := false
+	c.Spawn(0, "req", func(p *sim.Proc, nd *hw.Node) {
+		ep := sys.EPs[0]
+		for i := 0; i < nReq; i++ {
+			ep.Request(p, 1, hReq, uint32(i))
+		}
+		for gotReplies < nReq {
+			ep.Poll(p)
+		}
+		finished = true
+	})
+	c.Spawn(1, "svc", func(p *sim.Proc, nd *hw.Node) {
+		for !finished {
+			sys.EPs[1].Poll(p)
+		}
+	})
+	c.Run()
+
+	if gotReplies != nReq {
+		t.Fatalf("got %d replies, want %d", gotReplies, nReq)
+	}
+	if c.Switch.Faults.Dropped == 0 {
+		t.Fatal("starvation plan never dropped anything")
+	}
+	if sys.Totals().Probes == 0 {
+		t.Fatal("recovery happened without keep-alive probes — window too easy")
+	}
+}
+
+// TestBlackoutRecovery: total packet loss in an early window must still
+// resolve once the blackout lifts, with intact data.
+func TestBlackoutRecovery(t *testing.T) {
+	sys, src, dst := storeUnder(t,
+		NewPlan("blackout", 5, Blackout(50*hw.Microsecond, 350*hw.Microsecond)), 32<<10)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("payload damaged after blackout recovery")
+	}
+	if sys.Cluster.Switch.Faults.Dropped == 0 {
+		t.Fatal("blackout window missed the transfer entirely")
+	}
+}
+
+// TestDuplicationIsIdempotent: heavy duplication must deliver each bulk
+// handler exactly once with intact data.
+func TestDuplicationIsIdempotent(t *testing.T) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	NewPlan("dup", 13, Duplicate(0.25)).Apply(c)
+
+	const nStores = 20
+	const slot = 256
+	delivered := 0
+	dst := make([]byte, nStores*slot)
+	seg := c.Nodes[1].Mem.Add(dst)
+	bh := sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {
+		delivered++
+	})
+	finished := false
+	c.Spawn(0, "tx", func(p *sim.Proc, nd *hw.Node) {
+		ep := sys.EPs[0]
+		for i := 0; i < nStores; i++ {
+			data := make([]byte, slot)
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			ep.Store(p, 1, hw.Addr{Seg: seg, Off: i * slot}, data, bh, uint32(i))
+		}
+		finished = true
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, nd *hw.Node) {
+		for !finished || delivered < nStores {
+			sys.EPs[1].Poll(p)
+		}
+	})
+	c.Run()
+
+	if delivered != nStores {
+		t.Fatalf("bulk handler ran %d times, want exactly %d", delivered, nStores)
+	}
+	if c.Switch.Faults.Duplicated == 0 {
+		t.Fatal("duplication plan never fired")
+	}
+	for i := 0; i < nStores; i++ {
+		for j := 0; j < slot; j++ {
+			if dst[i*slot+j] != byte(i+j) {
+				t.Fatalf("store %d corrupted at byte %d", i, j)
+			}
+		}
+	}
+}
+
+// TestDegradeSlowsButCompletes: a degraded link stretches the transfer
+// roughly by its factor without breaking it.
+func TestDegradeSlowsButCompletes(t *testing.T) {
+	elapsed := func(plan *Plan) sim.Time {
+		sys, src, dst := storeUnder(t, plan, 64<<10)
+		if !bytes.Equal(src, dst) {
+			t.Fatal("payload damaged")
+		}
+		return sys.Cluster.Eng.Now()
+	}
+	base := elapsed(nil)
+	slow := elapsed(NewPlan("degraded", 17, Degrade(2.0)))
+	if slow <= base {
+		t.Fatalf("degraded run (%v) not slower than lossless (%v)", slow, base)
+	}
+}
+
+func TestStandardPlansAllDistinctAndComplete(t *testing.T) {
+	plans := StandardPlans(99)
+	if len(plans) != 7 {
+		t.Fatalf("%d standard plans, want 7", len(plans))
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		if seen[p.Name] {
+			t.Fatalf("duplicate plan name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Rules) == 0 {
+			t.Fatalf("plan %q has no rules", p.Name)
+		}
+	}
+	for _, want := range []string{"drop2pct", "burst", "duplicate", "reorder", "corrupt", "blackout", "degraded"} {
+		if !seen[want] {
+			t.Fatalf("standard plans missing %q", want)
+		}
+	}
+}

@@ -76,11 +76,38 @@ func (c *Cluster) SpawnAll(name string, fn func(p *sim.Proc, n *Node)) {
 // Run drives the simulation to completion, panicking on deadlock.
 func (c *Cluster) Run() { c.Eng.RunAll() }
 
-// DroppedPackets totals receive-FIFO overflow drops across nodes.
-func (c *Cluster) DroppedPackets() int64 {
-	var d int64
-	for _, n := range c.Nodes {
-		d += n.Adapter.DroppedOverflow
-	}
-	return d
+// LossReport breaks packet-loss accounting into its distinguishable
+// sources: faults injected at the fabric (by verdict kind) versus
+// receive-FIFO overflow at the adapters — the SP's one organic loss mode.
+type LossReport struct {
+	FaultDropped    int64 // injected drop verdicts at the switch
+	FaultDuplicated int64
+	FaultDelayed    int64
+	FaultCorrupted  int64
+	Overflow        int64 // receive-FIFO overflow at the adapters
 }
+
+// TotalLost is the number of packets that never reached a receive FIFO
+// intact-and-once guarantees aside: injected drops plus FIFO overflow.
+// (Corrupted packets are delivered and discarded by the protocol layer,
+// which counts them separately.)
+func (lr LossReport) TotalLost() int64 { return lr.FaultDropped + lr.Overflow }
+
+// Losses gathers the cluster-wide loss accounting.
+func (c *Cluster) Losses() LossReport {
+	f := c.Switch.Faults
+	lr := LossReport{
+		FaultDropped:    f.Dropped,
+		FaultDuplicated: f.Duplicated,
+		FaultDelayed:    f.Delayed,
+		FaultCorrupted:  f.Corrupted,
+	}
+	for _, n := range c.Nodes {
+		lr.Overflow += n.Adapter.DroppedOverflow
+	}
+	return lr
+}
+
+// DroppedPackets totals every packet lost in flight: injected switch drops
+// plus receive-FIFO overflow. Use Losses for the per-source breakdown.
+func (c *Cluster) DroppedPackets() int64 { return c.Losses().TotalLost() }

@@ -159,10 +159,10 @@ func TestRecvFIFOOverflowDrops(t *testing.T) {
 func TestSwitchFaultInjection(t *testing.T) {
 	c := twoNodes(t)
 	k := 0
-	c.Switch.Fault = func(pkt *Packet) bool {
+	c.Switch.Fault = DropIf(func(pkt *Packet) bool {
 		k++
 		return k%2 == 0 // drop every other packet
-	}
+	})
 	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
 		for i := 0; i < 10; i++ {
 			for n.Adapter.SendSpace() == 0 {
@@ -179,6 +179,151 @@ func TestSwitchFaultInjection(t *testing.T) {
 	}
 	if got := c.Nodes[1].Adapter.Delivered; got != 5 {
 		t.Fatalf("delivered %d, want 5", got)
+	}
+}
+
+func TestSwitchVerdictDuplicate(t *testing.T) {
+	c := twoNodes(t)
+	c.Switch.Fault = func(pkt *Packet) Verdict { return Duplicate() }
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: "dup"})
+		n.Adapter.CommitLengths(p)
+		p.Advance(US(1000))
+	})
+	c.Run()
+	if got := c.Nodes[1].Adapter.Delivered; got != 2 {
+		t.Fatalf("delivered %d copies, want 2", got)
+	}
+	if c.Switch.Faults.Duplicated != 1 {
+		t.Fatalf("Faults.Duplicated = %d, want 1 (the copy must not be re-faulted)",
+			c.Switch.Faults.Duplicated)
+	}
+}
+
+func TestSwitchVerdictDelayReorders(t *testing.T) {
+	c := twoNodes(t)
+	// Hold only the first packet long enough for the rest to overtake it.
+	first := true
+	c.Switch.Fault = func(pkt *Packet) Verdict {
+		if first {
+			first = false
+			return DelayBy(US(500))
+		}
+		return Deliver()
+	}
+	const n = 5
+	c.Spawn(0, "tx", func(p *sim.Proc, nd *Node) {
+		for i := 0; i < n; i++ {
+			for nd.Adapter.SendSpace() == 0 {
+				p.Advance(US(1))
+			}
+			nd.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: i})
+			nd.Adapter.CommitLengths(p)
+		}
+	})
+	var got []int
+	c.Spawn(1, "rx", func(p *sim.Proc, nd *Node) {
+		for len(got) < n {
+			if nd.Adapter.RecvPeek() == nil {
+				p.Advance(US(1))
+				continue
+			}
+			got = append(got, nd.Adapter.RecvPop().Msg.(int))
+		}
+	})
+	c.Run()
+	if got[len(got)-1] != 0 {
+		t.Fatalf("delayed packet arrived at position %v, want last: order %v", got, got)
+	}
+	if c.Switch.Faults.Delayed != 1 {
+		t.Fatalf("Faults.Delayed = %d, want 1", c.Switch.Faults.Delayed)
+	}
+}
+
+func TestSwitchVerdictCorruptPayload(t *testing.T) {
+	c := twoNodes(t)
+	c.Switch.Fault = func(pkt *Packet) Verdict { return Corrupt() }
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	sent := append([]byte(nil), orig...)
+	var arrived *Packet
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Data: sent})
+		n.Adapter.CommitLengths(p)
+	})
+	c.Spawn(1, "rx", func(p *sim.Proc, n *Node) {
+		for n.Adapter.RecvPeek() == nil {
+			p.Advance(US(1))
+		}
+		arrived = n.Adapter.RecvPop()
+	})
+	c.Run()
+	if c.Switch.Faults.Corrupted != 1 {
+		t.Fatalf("Faults.Corrupted = %d, want 1", c.Switch.Faults.Corrupted)
+	}
+	diff := 0
+	for i := range orig {
+		if sent[i] != orig[i] {
+			t.Fatalf("corruption mutated the sender's buffer at byte %d", i)
+		}
+		if arrived.Data[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("delivered copy differs from original in %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestSwitchVerdictCorruptNothingToFlip(t *testing.T) {
+	// A header-only packet whose Msg cannot be corrupted is simply unusable:
+	// the switch counts the corruption but delivers nothing.
+	c := twoNodes(t)
+	c.Switch.Fault = func(pkt *Packet) Verdict { return Corrupt() }
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: "opaque"})
+		n.Adapter.CommitLengths(p)
+		p.Advance(US(1000))
+	})
+	c.Run()
+	if got := c.Nodes[1].Adapter.Delivered; got != 0 {
+		t.Fatalf("delivered %d, want 0", got)
+	}
+	if c.Switch.Faults.Corrupted != 1 {
+		t.Fatalf("Faults.Corrupted = %d, want 1", c.Switch.Faults.Corrupted)
+	}
+}
+
+func TestClusterLossReport(t *testing.T) {
+	c := twoNodes(t)
+	k := 0
+	c.Switch.Fault = func(pkt *Packet) Verdict {
+		k++
+		switch k % 4 {
+		case 0:
+			return Drop()
+		case 1:
+			return Duplicate()
+		default:
+			return Deliver()
+		}
+	}
+	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
+		for i := 0; i < 8; i++ {
+			for n.Adapter.SendSpace() == 0 {
+				p.Advance(US(1))
+			}
+			n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
+			n.Adapter.CommitLengths(p)
+		}
+		p.Advance(US(1000))
+	})
+	c.Run()
+	lr := c.Losses()
+	if lr.FaultDropped != 2 || lr.FaultDuplicated != 2 {
+		t.Fatalf("loss report %+v, want 2 drops and 2 dups", lr)
+	}
+	if lr.TotalLost() != 2 || c.DroppedPackets() != 2 {
+		t.Fatalf("TotalLost = %d / DroppedPackets = %d, want 2", lr.TotalLost(), c.DroppedPackets())
 	}
 }
 

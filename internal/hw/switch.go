@@ -30,11 +30,104 @@ func (p *Packet) WireBytes() int {
 	return n
 }
 
-// FaultFunc lets tests inject loss: it is consulted once per packet at the
-// fabric and returns true to drop it. The real switch is effectively
-// lossless (the paper optimizes for that), so production runs leave it nil;
-// the flow-control tests use it to force retransmissions.
-type FaultFunc func(pkt *Packet) bool
+// FaultAction is what an injected fault does to one packet at the fabric.
+type FaultAction uint8
+
+const (
+	// ActDeliver passes the packet through untouched (the zero Verdict).
+	ActDeliver FaultAction = iota
+	// ActDrop loses the packet.
+	ActDrop
+	// ActDuplicate delivers the packet twice.
+	ActDuplicate
+	// ActDelay holds the packet for Verdict.Delay before injecting it,
+	// letting later packets overtake it (reordering, degraded links).
+	ActDelay
+	// ActCorrupt flips bits in the packet's payload or header before
+	// delivery; the protocol layer's checksum is expected to catch it.
+	ActCorrupt
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case ActDeliver:
+		return "deliver"
+	case ActDrop:
+		return "drop"
+	case ActDuplicate:
+		return "duplicate"
+	case ActDelay:
+		return "delay"
+	case ActCorrupt:
+		return "corrupt"
+	}
+	return "?"
+}
+
+// Verdict is a fault injector's decision about one packet. The zero value
+// delivers the packet untouched.
+type Verdict struct {
+	Action FaultAction
+	Delay  sim.Time // extra latency for ActDelay
+}
+
+// Convenience constructors for the five verdicts.
+func Deliver() Verdict             { return Verdict{} }
+func Drop() Verdict                { return Verdict{Action: ActDrop} }
+func Duplicate() Verdict           { return Verdict{Action: ActDuplicate} }
+func DelayBy(d sim.Time) Verdict   { return Verdict{Action: ActDelay, Delay: d} }
+func Corrupt() Verdict             { return Verdict{Action: ActCorrupt} }
+
+// FaultFunc lets tests and chaos harnesses inject faults: it is consulted
+// once per packet at the fabric and returns a verdict. The real switch is
+// effectively lossless (the paper optimizes for that), so production runs
+// leave it nil; internal/faults compiles declarative fault plans into one.
+type FaultFunc func(pkt *Packet) Verdict
+
+// DropIf adapts a boolean drop predicate to a FaultFunc — the historical
+// drop-only fault interface most flow-control tests use.
+func DropIf(pred func(*Packet) bool) FaultFunc {
+	return func(pkt *Packet) Verdict {
+		if pred(pkt) {
+			return Drop()
+		}
+		return Deliver()
+	}
+}
+
+// Classer lets fault injectors target packets by protocol class ("request",
+// "chunk", "ack", ...) without the hardware layer knowing the protocol.
+// Packet.Msg payloads may implement it.
+type Classer interface{ FaultClass() string }
+
+// Class reports the packet's protocol class, or "" if its payload does not
+// declare one.
+func (p *Packet) Class() string {
+	if c, ok := p.Msg.(Classer); ok {
+		return c.FaultClass()
+	}
+	return ""
+}
+
+// HeaderCorrupter is implemented by protocol messages (Packet.Msg) whose
+// header bits can be damaged in flight. CorruptHeader returns a damaged
+// copy; the original must not be modified (it may back a retransmission).
+type HeaderCorrupter interface {
+	CorruptHeader(r *sim.Rand) interface{}
+}
+
+// FaultStats counts applied fault verdicts by kind.
+type FaultStats struct {
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Corrupted  int64
+}
+
+// Total is the number of packets a fault verdict touched.
+func (f FaultStats) Total() int64 {
+	return f.Dropped + f.Duplicated + f.Delayed + f.Corrupted
+}
 
 // Switch models the SP high-performance switch as an input-queued,
 // output-queued fabric: each node has an injection port and an ejection
@@ -50,7 +143,12 @@ type Switch struct {
 	deliv []func(*Packet)
 	Fault FaultFunc
 	Sent  int64
-	Lost  int64
+	Lost  int64 // packets lost to drop verdicts (== Faults.Dropped)
+	// Faults counts applied fault verdicts; all zero when Fault is nil.
+	Faults FaultStats
+	// chaosRng picks corruption bit positions. It is created lazily on the
+	// first corrupt verdict so fault-free runs consume no random state.
+	chaosRng *sim.Rand
 }
 
 // NewSwitch builds a fabric for n nodes.
@@ -82,10 +180,33 @@ func (s *Switch) xferTime(bytes int) sim.Time {
 // still pays the ejection port, matching the adapter's self-send path.
 func (s *Switch) Send(pkt *Packet) {
 	s.Sent++
-	if s.Fault != nil && s.Fault(pkt) {
-		s.Lost++
-		return
+	if s.Fault != nil {
+		switch v := s.Fault(pkt); v.Action {
+		case ActDrop:
+			s.Lost++
+			s.Faults.Dropped++
+			return
+		case ActDuplicate:
+			s.Faults.Duplicated++
+			dup := *pkt
+			s.route(&dup)
+		case ActDelay:
+			s.Faults.Delayed++
+			s.eng.After(v.Delay, func() { s.route(pkt) })
+			return
+		case ActCorrupt:
+			s.Faults.Corrupted++
+			pkt = s.corruptPacket(pkt)
+			if pkt == nil {
+				return // nothing corruptible: the damaged packet is unusable
+			}
+		}
 	}
+	s.route(pkt)
+}
+
+// route moves the packet through injection port, fabric, and ejection port.
+func (s *Switch) route(pkt *Packet) {
 	t := s.xferTime(pkt.WireBytes())
 	if pkt.Src == pkt.Dst {
 		s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
@@ -96,6 +217,30 @@ func (s *Switch) Send(pkt *Packet) {
 			s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
 		})
 	})
+}
+
+// corruptPacket returns a damaged copy of pkt: a bit flipped in a copy of
+// the payload, or — when the payload is absent or the coin lands that way —
+// a damaged header copy if the protocol message supports it. The original
+// packet is never modified (its data may alias a retransmission source).
+// Returns nil when the packet has nothing corruptible to flip.
+func (s *Switch) corruptPacket(pkt *Packet) *Packet {
+	if s.chaosRng == nil {
+		s.chaosRng = sim.NewRand(0x5eedc0de)
+	}
+	q := *pkt
+	hc, hasHdr := pkt.Msg.(HeaderCorrupter)
+	if hasHdr && (len(pkt.Data) == 0 || s.chaosRng.Intn(4) == 0) {
+		q.Msg = hc.CorruptHeader(s.chaosRng)
+		return &q
+	}
+	if len(pkt.Data) > 0 {
+		data := append([]byte(nil), pkt.Data...)
+		data[s.chaosRng.Intn(len(data))] ^= 1 << uint(s.chaosRng.Intn(8))
+		q.Data = data
+		return &q
+	}
+	return nil
 }
 
 // Util returns the busy fractions of a node's injection and ejection ports

@@ -31,6 +31,7 @@ import (
 
 	"spam/internal/am"
 	"spam/internal/hw"
+	"spam/internal/sim"
 )
 
 // Wildcards for Recv matching.
@@ -123,6 +124,17 @@ func New(c *hw.Cluster, opt Options) *System {
 // Status describes a completed receive.
 type Status struct {
 	Source, Tag, Size int
+}
+
+// Finalize is MPI_Finalize: a barrier followed by a drain of the underlying
+// AM system. A rank that returns from its last MPI call stops polling, and
+// with it stops retransmitting — under packet loss a peer can then wait
+// forever for a resend that will never come. Finalize keeps every rank
+// servicing the network until no packet anywhere in the system awaits
+// delivery or acknowledgement, making clean exit safe under faults.
+func (c *Comm) Finalize(p *sim.Proc) {
+	Barrier(p, c)
+	c.ep.Drain(p)
 }
 
 // reqKind distinguishes request types.

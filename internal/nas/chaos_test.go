@@ -1,0 +1,47 @@
+package nas_test
+
+import (
+	"math"
+	"testing"
+
+	"spam/internal/faults"
+	"spam/internal/faults/soak"
+	"spam/internal/hw"
+	"spam/internal/mpi"
+	"spam/internal/nas"
+)
+
+// kernelWorkload adapts a NAS kernel on MPI-AM to the soak harness. The
+// kernels do real floating-point arithmetic, so the checksum (the exact bit
+// pattern of the verification value) diverges on any communication error.
+func kernelWorkload(bench string, k nas.Kernel) soak.Workload {
+	return func(plan *faults.Plan) soak.Run {
+		cluster := hw.NewCluster(hw.DefaultConfig(4))
+		sys := mpi.New(cluster, mpi.Optimized())
+		plan.Apply(cluster)
+		var comms []mpi.PT
+		for _, c := range sys.Comms {
+			comms = append(comms, c)
+		}
+		res := nas.Run(cluster, comms, bench, "mpi-am", k)
+		return soak.Run{
+			Checksum: math.Float64bits(res.Checksum),
+			Elapsed:  cluster.Eng.Now(),
+			Cluster:  cluster,
+		}
+	}
+}
+
+// TestChaosFT soaks the FT kernel — Alltoall-dominated — under every
+// standard fault plan.
+func TestChaosFT(t *testing.T) {
+	w := kernelWorkload("FT", nas.FT(nas.FTConfig{N: 16, Iters: 2}))
+	soak.Soak(t, w, faults.StandardPlans(6006), 40)
+}
+
+// TestChaosMG soaks the MG kernel — neighbor exchanges across grid levels —
+// under every standard fault plan.
+func TestChaosMG(t *testing.T) {
+	w := kernelWorkload("MG", nas.MG(nas.MGConfig{N: 32, Iters: 2, Levels: 2}))
+	soak.Soak(t, w, faults.StandardPlans(7007), 40)
+}

@@ -70,6 +70,12 @@ func Run(cluster *hw.Cluster, comms []mpi.PT, bench, impl string, kernel Kernel)
 			if i == 0 {
 				t1 = p.Now()
 			}
+			// Drain before exiting, when the comm layer supports it: under
+			// fault injection a rank must keep polling (and retransmitting)
+			// until every peer's traffic is fully acknowledged.
+			if f, ok := c.(interface{ Finalize(p *sim.Proc) }); ok {
+				f.Finalize(p)
+			}
 		})
 	}
 	cluster.Run()

@@ -1,0 +1,56 @@
+package splitc_test
+
+import (
+	"testing"
+
+	"spam/internal/faults"
+	"spam/internal/faults/soak"
+	"spam/internal/splitc"
+	"spam/internal/splitc/apps"
+)
+
+// appWorkload adapts a Split-C application to the soak harness: fresh SP AM
+// platform per run, fault plan on its switch, the app's own checksum as the
+// end-to-end verification value.
+func appWorkload(heap func(P int) int, run func(pl *splitc.SPAMPlatform) uint64) soak.Workload {
+	const P = 4
+	return func(plan *faults.Plan) soak.Run {
+		pl := splitc.NewSPAM(P, heap(P))
+		plan.Apply(pl.Cluster)
+		sum := run(pl)
+		return soak.Run{Checksum: sum, Elapsed: pl.Cluster.Eng.Now(), Cluster: pl.Cluster}
+	}
+}
+
+// TestChaosMatMul runs the blocked matrix multiply — bulk-store heavy —
+// under every standard fault plan; its checksum must stay bit-identical.
+func TestChaosMatMul(t *testing.T) {
+	const nblk, bsize = 4, 8
+	w := appWorkload(
+		func(P int) int { return apps.MatMulHeap(nblk, bsize, P) },
+		func(pl *splitc.SPAMPlatform) uint64 { return apps.MatMul(pl, nblk, bsize).Checksum },
+	)
+	soak.Soak(t, w, faults.StandardPlans(3003), 40)
+}
+
+// TestChaosRadixSort exercises the counting/scan/permute phases (fine-grain
+// puts plus bulk stores) under chaos.
+func TestChaosRadixSort(t *testing.T) {
+	const total = 2048
+	w := appWorkload(
+		func(P int) int { return apps.RadixSortHeap(total, P) },
+		func(pl *splitc.SPAMPlatform) uint64 { return apps.RadixSort(pl, total, true).Checksum },
+	)
+	soak.Soak(t, w, faults.StandardPlans(4004), 40)
+}
+
+// TestChaosSampleSort exercises splitter broadcast and all-to-all key
+// redistribution under chaos.
+func TestChaosSampleSort(t *testing.T) {
+	const total = 2048
+	w := appWorkload(
+		func(P int) int { return apps.SampleSortHeap(total, P) },
+		func(pl *splitc.SPAMPlatform) uint64 { return apps.SampleSort(pl, total, true).Checksum },
+	)
+	soak.Soak(t, w, faults.StandardPlans(5005), 40)
+}

@@ -84,11 +84,17 @@ func (pl *SPAMPlatform) N() int { return len(pl.rts) }
 // Name identifies the platform in result tables.
 func (pl *SPAMPlatform) Name() string { return pl.name }
 
-// Run executes program SPMD and returns the finishing virtual time.
+// Run executes program SPMD and returns the finishing virtual time. After
+// the program body, every process drains the AM system before exiting:
+// retransmission lives in Poll, so a process that stopped polling would
+// strand any of its packets a peer still needs resent under packet loss.
 func (pl *SPAMPlatform) Run(program func(p *sim.Proc, rt *RT)) sim.Time {
 	for i := range pl.rts {
-		rt := pl.rts[i]
-		pl.Cluster.Spawn(i, "splitc", func(p *sim.Proc, n *hw.Node) { program(p, rt) })
+		i, rt := i, pl.rts[i]
+		pl.Cluster.Spawn(i, "splitc", func(p *sim.Proc, n *hw.Node) {
+			program(p, rt)
+			pl.Sys.EPs[i].Drain(p)
+		})
 	}
 	pl.Cluster.Run()
 	return pl.Cluster.Eng.Now()
