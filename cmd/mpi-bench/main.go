@@ -24,7 +24,12 @@ import (
 func main() {
 	figure := flag.Int("figure", 0, "figure to regenerate (7-11)")
 	total := flag.Int("total", 1<<20, "bytes per bandwidth measurement")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
+	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
 	flag.Parse()
+
+	obs := bench.NewObserver(*traceOut, *metrics)
 
 	latSizes := []int{4, 16, 64, 100, 256, 1024, 4096, 8192, 16384, 65536}
 	bwSizes := bench.SizesLog(64, 1<<18)
@@ -52,6 +57,10 @@ func main() {
 			bench.MPIBandwidthCurve(bench.MPIRdvOnly, bwSizes, *total, false),
 			bench.MPIBandwidthCurve(bench.MPIHybrid, bwSizes, *total, false),
 		}
+		if *jsonOut {
+			check(bench.WriteJSONReport(os.Stdout, bench.CurvesReport("mpi-bench -figure 7", curves)))
+			break
+		}
 		bench.PrintCurves(os.Stdout, "Figure 7: performance of buffered and rendezvous protocols (MB/s)", curves)
 
 	case 8, 10:
@@ -65,6 +74,11 @@ func main() {
 			bench.MPILatencyCurve(bench.MPIAMUnopt, latSizes, wide),
 			bench.MPILatencyCurve(bench.MPIAMOpt, latSizes, wide),
 			bench.MPILatencyCurve(bench.MPIF, latSizes, wide),
+		}
+		if *jsonOut {
+			check(bench.WriteJSONReport(os.Stdout,
+				bench.LatencyCurvesReport(fmt.Sprintf("mpi-bench -figure %d", *figure), curves)))
+			break
 		}
 		printLat(fmt.Sprintf("Figure %d: MPI per-hop latency on %s SP nodes (us, 4-node ring)", *figure, where), curves)
 
@@ -80,11 +94,25 @@ func main() {
 			bench.MPIBandwidthCurve(bench.MPIAMOpt, bwSizes, *total, wide),
 			bench.MPIBandwidthCurve(bench.MPIF, bwSizes, *total, wide),
 		}
+		if *jsonOut {
+			check(bench.WriteJSONReport(os.Stdout,
+				bench.CurvesReport(fmt.Sprintf("mpi-bench -figure %d", *figure), curves)))
+			break
+		}
 		bench.PrintCurves(os.Stdout,
 			fmt.Sprintf("Figure %d: MPI point-to-point bandwidth on %s SP nodes (MB/s)", *figure, where), curves)
 
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	check(obs.Finish(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpi-bench:", err)
+		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"spam/internal/bench"
@@ -17,12 +18,29 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "small smoke configuration")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
+	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
 	flag.Parse()
+
+	obs := bench.NewObserver(*traceOut, *metrics)
 
 	cfg := bench.PaperNAS()
 	if *quick {
 		cfg = bench.QuickNAS()
 	}
 	rows := bench.RunNAS(cfg)
-	bench.PrintNAS(os.Stdout, rows, cfg.NProcs)
+	if *jsonOut {
+		check(bench.WriteJSONReport(os.Stdout, bench.NASReport(rows, cfg.NProcs)))
+	} else {
+		bench.PrintNAS(os.Stdout, rows, cfg.NProcs)
+	}
+	check(obs.Finish(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nas-bench:", err)
+		os.Exit(1)
+	}
 }

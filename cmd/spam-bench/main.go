@@ -25,7 +25,12 @@ func main() {
 	total := flag.Int("total", 1<<20, "bytes moved per bandwidth measurement")
 	stats := flag.Bool("stats", false, "run a mixed workload and dump protocol statistics")
 	chaos := flag.Bool("chaos", false, "sweep packet-loss rates and print bandwidth degradation")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
+	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
 	flag.Parse()
+
+	obs := bench.NewObserver(*traceOut, *metrics)
 
 	switch {
 	case *stats:
@@ -33,6 +38,10 @@ func main() {
 	case *chaos:
 		bench.ChaosTable(os.Stdout, *total)
 	case *table == 2:
+		if *jsonOut {
+			check(bench.WriteJSONReport(os.Stdout, bench.Table2Report()))
+			break
+		}
 		fmt.Println("# Table 2: cost of am_request_N / am_reply_N calls (us)")
 		fmt.Printf("%-4s %12s %12s\n", "N", "am_request", "am_reply")
 		for n := 1; n <= 4; n++ {
@@ -41,27 +50,11 @@ func main() {
 		fmt.Println("# paper: request 7.7/7.9/8.0/8.2, reply 4.0/4.1/4.3/4.4")
 
 	case *table == 3:
-		fmt.Println("# Table 3: performance summary, SP AM vs IBM MPL")
-		amRTT := bench.AMRoundTrip(1, 30)
-		mplRTT := bench.MPLRoundTrip(30)
-		raw := bench.RawRoundTrip(30)
-		fmt.Printf("one-word round-trip:  AM %6.1f us   MPL %6.1f us   raw %6.1f us\n", amRTT, mplRTT, raw)
-		fmt.Println("# paper: AM 51.0, MPL 88.0, raw ~47")
-
-		amR := bench.AMBandwidth(bench.AsyncStore, 1<<20, *total)
-		mplR := bench.MPLBandwidth(false, 1<<20, *total)
-		fmt.Printf("asymptotic bandwidth: AM %6.2f MB/s MPL %6.2f MB/s\n", amR, mplR)
-		fmt.Println("# paper: AM 34.3, MPL 34.6")
-
-		sizes := []int{64, 128, 192, 256, 320, 512, 1024, 2048, 4096, 16384, 65536, 1 << 20}
-		amC := bench.AMBandwidthCurve(bench.AsyncStore, sizes, *total)
-		mplC := bench.MPLBandwidthCurve(false, sizes, *total)
-		fmt.Printf("half-power point:     AM %6.0f B    MPL %6.0f B (non-blocking)\n",
-			amC.NHalf(), mplC.NHalf())
-		amS := bench.AMBandwidthCurve(bench.SyncStore, sizes, *total)
-		mplB := bench.MPLBandwidthCurve(true, sizes, *total)
-		fmt.Printf("half-power point:     AM %6.0f B    MPL %6.0f B (blocking)\n",
-			amS.NHalf(), mplB.NHalf())
+		if *jsonOut {
+			check(bench.WriteJSONReport(os.Stdout, bench.Table3Report(30, *total)))
+			break
+		}
+		bench.WriteTable3(os.Stdout, *total)
 
 	case *figure == 3:
 		sizes := bench.SizesLog(16, 1<<20)
@@ -73,10 +66,23 @@ func main() {
 			bench.AMBandwidthCurve(bench.AsyncGet, sizes, *total),
 			bench.MPLBandwidthCurve(false, sizes, *total),
 		}
+		if *jsonOut {
+			check(bench.WriteJSONReport(os.Stdout, bench.CurvesReport("spam-bench -figure 3", curves)))
+			break
+		}
 		bench.PrintCurves(os.Stdout, "Figure 3: bandwidth of blocking and non-blocking bulk transfers (MB/s)", curves)
 
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	check(obs.Finish(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spam-bench:", err)
+		os.Exit(1)
 	}
 }

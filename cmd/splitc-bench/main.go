@@ -23,7 +23,12 @@ func main() {
 	table := flag.Int("table", 5, "table to regenerate (4 or 5)")
 	paper := flag.Bool("paper", false, "use paper-scale problem sizes")
 	procs := flag.Int("p", 8, "number of processors")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
+	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
 	flag.Parse()
+
+	obs := bench.NewObserver(*traceOut, *metrics)
 
 	if *table == 4 {
 		fmt.Println("# Table 4: machine characteristics (model inputs)")
@@ -43,8 +48,22 @@ func main() {
 	}
 	cfg.NProcs = *procs
 	machines := bench.Table5Machines(cfg.NProcs)
+	if *jsonOut {
+		results := bench.RunTable5(cfg, machines)
+		check(bench.WriteJSONReport(os.Stdout, bench.Table5Report(results)))
+		check(obs.Finish(os.Stdout))
+		return
+	}
 	fmt.Printf("# Split-C benchmarks on %d processors (keys=%d, mm %dx%d blocks of %d^2 and %dx%d of %d^2)\n",
 		cfg.NProcs, cfg.Keys, cfg.MMLgN, cfg.MMLgN, cfg.MMLgB, cfg.MMSmN, cfg.MMSmN, cfg.MMSmB)
 	results := bench.RunTable5(cfg, machines)
 	bench.PrintTable5(os.Stdout, results, machines)
+	check(obs.Finish(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitc-bench:", err)
+		os.Exit(1)
+	}
 }

@@ -70,6 +70,10 @@ type System struct {
 	Cluster *hw.Cluster
 	EPs     []*Endpoint
 	Opt     Options
+
+	// met holds the cached metric handles when EnableMetrics was called
+	// (nil = metrics off, free).
+	met *sysMetrics
 }
 
 // New builds the AM layer on c with the paper's default options.
@@ -78,6 +82,9 @@ func New(c *hw.Cluster) *System { return NewWithOptions(c, DefaultOptions()) }
 // NewWithOptions builds the AM layer with explicit protocol options.
 func NewWithOptions(c *hw.Cluster, opt Options) *System {
 	s := &System{Cluster: c, Opt: opt}
+	if DefaultMetrics != nil {
+		s.EnableMetrics(DefaultMetrics)
+	}
 	for _, n := range c.Nodes {
 		ep := &Endpoint{sys: s, node: n, n: len(c.Nodes)}
 		ep.peers = make([]*peerState, len(c.Nodes))

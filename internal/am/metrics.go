@@ -1,0 +1,48 @@
+package am
+
+import "spam/internal/trace"
+
+// DefaultMetrics, when non-nil, is the registry new AM systems publish
+// into (the command-line hook mirroring hw.DefaultTracer). Explicit
+// EnableMetrics calls override it per system.
+var DefaultMetrics *trace.Registry
+
+// sysMetrics caches the typed metric handles the hot paths touch, so a
+// metrics-enabled run pays two pointer loads and an integer op per sample —
+// and a disabled run (nil *sysMetrics) pays one nil check.
+type sysMetrics struct {
+	polls, emptyPolls *trace.Counter
+	retransmits       *trace.Counter
+	acksSent          *trace.Counter
+	nacksSent         *trace.Counter
+	probes            *trace.Counter
+	corruptDropped    *trace.Counter
+
+	recvFIFO  *trace.Histogram // receive-FIFO occupancy seen at each poll
+	pollBatch *trace.Histogram // packets drained per poll
+	inflight  *trace.Histogram // window occupancy at each short injection
+	sendFIFO  *trace.Histogram // send-FIFO occupancy at each injection
+}
+
+func newSysMetrics(reg *trace.Registry) *sysMetrics {
+	return &sysMetrics{
+		polls:          reg.Counter("am.polls"),
+		emptyPolls:     reg.Counter("am.polls_empty"),
+		retransmits:    reg.Counter("am.retransmits"),
+		acksSent:       reg.Counter("am.acks_sent"),
+		nacksSent:      reg.Counter("am.nacks_sent"),
+		probes:         reg.Counter("am.probes_sent"),
+		corruptDropped: reg.Counter("am.corrupt_dropped"),
+		recvFIFO:       reg.Histogram("am.recv_fifo_occupancy"),
+		pollBatch:      reg.Histogram("am.poll_batch"),
+		inflight:       reg.Histogram("am.window_inflight"),
+		sendFIFO:       reg.Histogram("am.send_fifo_occupancy"),
+	}
+}
+
+// EnableMetrics publishes this system's protocol metrics into reg. All
+// endpoints share the handles (the registry aggregates cluster-wide, which
+// is what the bench reports want).
+func (s *System) EnableMetrics(reg *trace.Registry) {
+	s.met = newSysMetrics(reg)
+}

@@ -3,7 +3,16 @@ package am
 import (
 	"spam/internal/hw"
 	"spam/internal/sim"
+	"spam/internal/trace"
 )
+
+// emit records one protocol-level trace event for this endpoint when a
+// recorder is attached; a disabled run pays a single nil check.
+func (ep *Endpoint) emit(k trace.Kind, pkt, arg int64, class string) {
+	if rec := ep.node.Eng.Tracer(); rec != nil {
+		rec.Emit(int64(ep.node.Eng.Now()), k, ep.node.ID, pkt, arg, class)
+	}
+}
 
 // Poll services the network once: it drains every packet currently in the
 // receive FIFO (invoking handlers as messages complete), applies
@@ -12,8 +21,13 @@ import (
 // per received message (paper §2.5).
 func (ep *Endpoint) Poll(p *sim.Proc) {
 	ep.Stats.Polls++
-	ep.node.ComputeUnscaled(p, costPollEmpty)
+	ep.emit(trace.EvPollStart, 0, 0, "")
 	ad := ep.node.Adapter
+	if m := ep.sys.met; m != nil {
+		m.polls.Inc()
+		m.recvFIFO.Observe(int64(ad.RecvLen()))
+	}
+	ep.node.ComputeUnscaled(p, costPollEmpty)
 	got := 0
 	for {
 		pkt := ad.RecvPeek()
@@ -31,6 +45,13 @@ func (ep *Endpoint) Poll(p *sim.Proc) {
 	}
 	ep.drainAll(p)
 	ep.explicitAcks(p)
+	if m := ep.sys.met; m != nil {
+		m.pollBatch.Observe(int64(got))
+		if got == 0 {
+			m.emptyPolls.Inc()
+		}
+	}
+	ep.emit(trace.EvPollEnd, 0, int64(got), "")
 }
 
 // chargePop accounts the lazy receive-FIFO pop: entries are flushed and
@@ -53,6 +74,9 @@ func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) {
 	// control packets via probe/refresh).
 	if m.csum != m.wireChecksum(pkt.Data) {
 		ep.Stats.CorruptDropped++
+		if met := ep.sys.met; met != nil {
+			met.corruptDropped.Inc()
+		}
 		ep.node.ComputeUnscaled(p, costPerMsg) // the host still examined it
 		return
 	}
@@ -174,7 +198,7 @@ func (ep *Endpoint) handleSequenced(p *sim.Proc, src int, ps *peerState, m *msg,
 		} else {
 			rc.expect++
 			rc.unackedPkts++
-			ep.deliverShort(p, src, m)
+			ep.deliverShort(p, src, m, pkt.TraceID)
 		}
 	}
 }
@@ -221,7 +245,7 @@ func (ep *Endpoint) acceptChunkPacket(p *sim.Proc, src int, ps *peerState, rc *r
 	switch m.bk {
 	case bkStore:
 		if m.h != NoHandler {
-			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: true}, base, m.total, m.arg)
+			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: true}, base, m.total, m.arg, pkt.TraceID)
 		}
 	case bkGetData:
 		// We initiated this get; data is home.
@@ -230,17 +254,17 @@ func (ep *Endpoint) acceptChunkPacket(p *sim.Proc, src int, ps *peerState, rc *r
 			delete(ep.ops, m.op)
 		}
 		if m.h != NoHandler {
-			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: false}, base, m.total, m.arg)
+			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: false}, base, m.total, m.arg, pkt.TraceID)
 		}
 	}
 }
 
-func (ep *Endpoint) deliverShort(p *sim.Proc, src int, m *msg) {
+func (ep *Endpoint) deliverShort(p *sim.Proc, src int, m *msg, tid int64) {
 	switch m.kind {
 	case kRequest:
-		ep.runHandler(p, m.h, Token{Src: src, mayReply: true}, m.args[:m.nargs])
+		ep.runHandler(p, m.h, Token{Src: src, mayReply: true}, m.args[:m.nargs], tid)
 	case kReply:
-		ep.runHandler(p, m.h, Token{Src: src, mayReply: false}, m.args[:m.nargs])
+		ep.runHandler(p, m.h, Token{Src: src, mayReply: false}, m.args[:m.nargs], tid)
 	case kGetReq:
 		// Serve the get: stream our memory back on the reply channel. The
 		// op id is the initiator's, echoed on the data packets.
@@ -259,25 +283,29 @@ func (ep *Endpoint) deliverShort(p *sim.Proc, src int, m *msg) {
 	}
 }
 
-func (ep *Endpoint) runHandler(p *sim.Proc, h HandlerID, tok Token, args []uint32) {
+func (ep *Endpoint) runHandler(p *sim.Proc, h HandlerID, tok Token, args []uint32, tid int64) {
 	if h == NoHandler {
 		return
 	}
 	fn := ep.handlers[h]
 	ep.node.ComputeUnscaled(p, costDispatch)
+	ep.emit(trace.EvHandlerStart, tid, int64(h), "")
 	wasIn := ep.inHandler
 	ep.inHandler = true
 	fn(p, ep, tok, args)
 	ep.inHandler = wasIn
+	ep.emit(trace.EvHandlerEnd, tid, int64(h), "")
 }
 
-func (ep *Endpoint) runBulkHandler(p *sim.Proc, h HandlerID, tok Token, addr hw.Addr, n int, arg uint32) {
+func (ep *Endpoint) runBulkHandler(p *sim.Proc, h HandlerID, tok Token, addr hw.Addr, n int, arg uint32, tid int64) {
 	fn := ep.bulkHandlers[h]
 	ep.node.ComputeUnscaled(p, costDispatch)
+	ep.emit(trace.EvHandlerStart, tid, int64(h), "bulk")
 	wasIn := ep.inHandler
 	ep.inHandler = true
 	fn(p, ep, tok, addr, n, arg)
 	ep.inHandler = wasIn
+	ep.emit(trace.EvHandlerEnd, tid, int64(h), "bulk")
 }
 
 // explicitAcks emits explicit acknowledgements where piggybacking did not

@@ -5,6 +5,7 @@ import (
 
 	"spam/internal/hw"
 	"spam/internal/sim"
+	"spam/internal/trace"
 )
 
 // Request sends a short request of up to four words to dst and invokes
@@ -13,6 +14,7 @@ import (
 func (ep *Endpoint) Request(p *sim.Proc, dst int, h HandlerID, args ...uint32) {
 	ep.mustNotBeInHandler("Request")
 	ep.Stats.Requests++
+	ep.emit(trace.EvReqStart, 0, int64(len(args)), "")
 	m := ep.shortMsg(kRequest, chReq, h, args)
 	ep.sendShortBlocking(p, dst, m, costReqBuild+wordsCost(len(args)))
 	ep.Poll(p)
@@ -26,6 +28,7 @@ func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) {
 		panic("am: Reply outside a request handler, or replied twice")
 	}
 	ep.Stats.Replies++
+	ep.emit(trace.EvReplyStart, 0, int64(len(args)), "")
 	m := ep.shortMsg(kReply, chRep, h, args)
 	ps := ep.peer(tok.Src)
 	ps.tx[chRep].q = append(ps.tx[chRep].q, &txOp{short: m})
@@ -242,6 +245,10 @@ func (ep *Endpoint) injectShort(p *sim.Proc, dst int, tc *txChan, op *txOp) {
 	m := op.short
 	m.seq = tc.nextSeq
 	tc.nextSeq++
+	if met := ep.sys.met; met != nil {
+		met.inflight.Observe(int64(tc.inFlight()))
+		met.sendFIFO.Observe(int64(hw.SendFIFOEntries - ep.node.Adapter.SendSpace()))
+	}
 	build := op.shortBuild
 	if build == 0 {
 		build = ep.ctrlBuildCost(m)
@@ -343,6 +350,10 @@ func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkO
 // injectSaved retransmits one saved packet (charging rebuild costs).
 func (ep *Endpoint) injectSaved(p *sim.Proc, dst int, sp savedPkt) {
 	ep.Stats.Retransmits++
+	if met := ep.sys.met; met != nil {
+		met.retransmits.Inc()
+	}
+	ep.emit(trace.EvRetransmit, 0, int64(sp.m.seq), sp.m.kind.String())
 	m := sp.m // copy; re-stamp acks freshly
 	var wire int
 	if m.kind == kChunk {
@@ -394,5 +405,15 @@ func (ep *Endpoint) sendCtrl(p *sim.Proc, dst int, k kind, nackSeq uint64, ch in
 		ep.Stats.NacksSent++
 	case kProbe:
 		ep.Stats.Probes++
+	}
+	if met := ep.sys.met; met != nil {
+		switch k {
+		case kAck:
+			met.acksSent.Inc()
+		case kNack:
+			met.nacksSent.Inc()
+		case kProbe:
+			met.probes.Inc()
+		}
 	}
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spam/internal/splitc/apps"
+)
+
+// JSONSchemaVersion identifies the machine-readable report layout; bump it
+// on any incompatible change so downstream consumers can dispatch.
+const JSONSchemaVersion = 1
+
+// JSONMetric is one measurement in a machine-readable bench report.
+type JSONMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Paper is the paper's published figure for this metric, 0 when the
+	// paper gives none.
+	Paper float64 `json:"paper,omitempty"`
+}
+
+// JSONReport is the stable machine-readable output of a bench command.
+type JSONReport struct {
+	Command string       `json:"command"`
+	Schema  int          `json:"schema"`
+	Metrics []JSONMetric `json:"metrics"`
+}
+
+// WriteJSONReport writes r as indented JSON.
+func WriteJSONReport(w io.Writer, r JSONReport) error {
+	r.Schema = JSONSchemaVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table2Report measures the am_request/am_reply call costs as a report.
+func Table2Report() JSONReport {
+	reqPaper := []float64{7.7, 7.9, 8.0, 8.2}
+	repPaper := []float64{4.0, 4.1, 4.3, 4.4}
+	r := JSONReport{Command: "spam-bench -table 2"}
+	for n := 1; n <= 4; n++ {
+		r.Metrics = append(r.Metrics,
+			JSONMetric{Name: fmt.Sprintf("am_request_%d", n), Value: RequestCost(n), Unit: "us", Paper: reqPaper[n-1]},
+			JSONMetric{Name: fmt.Sprintf("am_reply_%d", n), Value: ReplyCost(n), Unit: "us", Paper: repPaper[n-1]})
+	}
+	return r
+}
+
+// Table3Report measures the Table-3 summary (round trips and asymptotic
+// bandwidths) as a report. iters and total let tests run it scaled down.
+func Table3Report(iters, total int) JSONReport {
+	r := JSONReport{Command: "spam-bench -table 3"}
+	r.Metrics = append(r.Metrics,
+		JSONMetric{Name: "am_round_trip", Value: AMRoundTrip(1, iters), Unit: "us", Paper: 51.0},
+		JSONMetric{Name: "mpl_round_trip", Value: MPLRoundTrip(iters), Unit: "us", Paper: 88.0},
+		JSONMetric{Name: "raw_round_trip", Value: RawRoundTrip(iters), Unit: "us", Paper: 47.0},
+		JSONMetric{Name: "am_bandwidth", Value: AMBandwidth(AsyncStore, 1<<20, total), Unit: "MB/s", Paper: 34.3},
+		JSONMetric{Name: "mpl_bandwidth", Value: MPLBandwidth(false, 1<<20, total), Unit: "MB/s", Paper: 34.6})
+	return r
+}
+
+// CurvesReport condenses bandwidth curves into their derived metrics
+// (r_inf, n_1/2) — the quantities the paper reads off each figure.
+func CurvesReport(command string, curves []Curve) JSONReport {
+	r := JSONReport{Command: command}
+	for _, c := range curves {
+		r.Metrics = append(r.Metrics,
+			JSONMetric{Name: c.Name + " r_inf", Value: c.RInf(), Unit: "MB/s"},
+			JSONMetric{Name: c.Name + " n_1/2", Value: c.NHalf(), Unit: "bytes"})
+	}
+	return r
+}
+
+// LatencyCurvesReport reports each latency curve's smallest-size value (the
+// per-hop latency floor the figures are read for).
+func LatencyCurvesReport(command string, curves []Curve) JSONReport {
+	r := JSONReport{Command: command}
+	for _, c := range curves {
+		if len(c.Points) == 0 {
+			continue
+		}
+		p := c.Points[0]
+		r.Metrics = append(r.Metrics, JSONMetric{
+			Name: fmt.Sprintf("%s latency@%dB", c.Name, p.N), Value: p.MBps, Unit: "us"})
+	}
+	return r
+}
+
+// NASReport converts Table-6 rows to a report.
+func NASReport(rows []NASRow, nprocs int) JSONReport {
+	r := JSONReport{Command: fmt.Sprintf("nas-bench (%d nodes)", nprocs)}
+	for _, row := range rows {
+		verified := 0.0
+		if row.ChecksumsAgree {
+			verified = 1.0
+		}
+		r.Metrics = append(r.Metrics,
+			JSONMetric{Name: row.Bench + " MPI-F", Value: row.MPIF, Unit: "s"},
+			JSONMetric{Name: row.Bench + " MPI-AM", Value: row.MPIAM, Unit: "s"},
+			JSONMetric{Name: row.Bench + " ratio", Value: row.MPIAM / row.MPIF, Unit: "x"},
+			JSONMetric{Name: row.Bench + " verified", Value: verified, Unit: "bool"})
+	}
+	return r
+}
+
+// Table5Report converts Split-C results to a report.
+func Table5Report(results []apps.Result) JSONReport {
+	r := JSONReport{Command: "splitc-bench"}
+	for _, res := range results {
+		r.Metrics = append(r.Metrics, JSONMetric{
+			Name: res.Bench + " / " + res.Platform, Value: res.TotalSec, Unit: "s"})
+	}
+	return r
+}

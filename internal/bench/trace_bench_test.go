@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"spam/internal/trace"
+)
+
+// TestBreakdownMatchesPaper is the paper's §2.3 accounting: the traced
+// 1-word round trip decomposes into stages whose means sum exactly to the
+// measured round-trip time, and that time is the paper's ~51 us.
+func TestBreakdownMatchesPaper(t *testing.T) {
+	rec, rtt := TracedPingPong(1, 8, 32)
+	b, err := trace.DecomposeRoundTrip(rec.Sorted(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Stages) != trace.NumStages {
+		t.Fatalf("%d stages, want %d", len(b.Stages), trace.NumStages)
+	}
+	if math.Abs(b.TotalUS-rtt) > 1e-6 {
+		t.Fatalf("stage sum %.6f != measured round trip %.6f", b.TotalUS, rtt)
+	}
+	if math.Abs(rtt-51.1) > 0.1 {
+		t.Fatalf("round trip %.3f us, want 51.1 +/- 0.1 (paper: 51.0)", rtt)
+	}
+	var sum float64
+	for _, s := range b.Stages {
+		if s.MeanUS < 0 {
+			t.Fatalf("stage %q has negative mean %.3f", s.Name, s.MeanUS)
+		}
+		sum += s.MeanUS
+	}
+	if math.Abs(sum-b.TotalUS) > 1e-9 {
+		t.Fatalf("stage means sum %.9f != TotalUS %.9f", sum, b.TotalUS)
+	}
+}
+
+// TestPerWordGap reproduces the Table-3 observation the trace explains:
+// each extra request word costs ~0.9 us of round trip (not the ~0.5 us a
+// one-way reading of the paper's DMA numbers suggests), because the ping
+// handler echoes the arguments so every extra word crosses the wire twice.
+func TestPerWordGap(t *testing.T) {
+	b1, err := PingPongBreakdown(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := PingPongBreakdown(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWord := (b4.TotalUS - b1.TotalUS) / 3
+	if perWord < 0.8 || perWord > 1.0 {
+		t.Fatalf("per-extra-word cost %.3f us, want ~0.9", perWord)
+	}
+}
+
+// TestTraceDeterminism runs the same traced benchmark twice and requires the
+// exported Chrome trace files to be byte-identical: the simulation, the
+// recorder, and the exporter are all deterministic.
+func TestTraceDeterminism(t *testing.T) {
+	export := func() []byte {
+		rec, _ := TracedPingPong(2, 4, 16)
+		var buf bytes.Buffer
+		if err := trace.WriteChromeTrace(&buf, rec.Sorted()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 {
+		t.Fatal("empty trace export")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical traced runs exported different bytes (%d vs %d)", len(a), len(b))
+	}
+}
+
+// TestJSONReportRoundTrip consumes the -json output path: the report must
+// unmarshal back with the stable schema and the same metrics.
+func TestJSONReportRoundTrip(t *testing.T) {
+	r := Table2Report()
+	var buf bytes.Buffer
+	if err := WriteJSONReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var got JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, buf.String())
+	}
+	if got.Schema != JSONSchemaVersion {
+		t.Fatalf("schema = %d, want %d", got.Schema, JSONSchemaVersion)
+	}
+	if got.Command != "spam-bench -table 2" {
+		t.Fatalf("command = %q", got.Command)
+	}
+	if len(got.Metrics) != 8 {
+		t.Fatalf("%d metrics, want 8 (request/reply x 4 words)", len(got.Metrics))
+	}
+	for _, m := range got.Metrics {
+		if m.Name == "" || m.Unit != "us" || m.Value <= 0 || m.Paper <= 0 {
+			t.Fatalf("malformed metric %+v", m)
+		}
+	}
+	// The modeled call costs should track the paper's Table 2 closely.
+	for _, m := range got.Metrics {
+		if math.Abs(m.Value-m.Paper) > 0.2 {
+			t.Fatalf("%s = %.2f us, paper says %.2f", m.Name, m.Value, m.Paper)
+		}
+	}
+}
+
+// TestTracedBandwidthRecordsLoad checks the load-tracing path used for
+// queueing attribution: a bulk transfer with the global tracer hook set
+// records full packet lifecycles, and the hook is cleared afterwards.
+func TestTracedBandwidthRecordsLoad(t *testing.T) {
+	rec, mbps := TracedBandwidth(AsyncStore, 1<<14, 1<<16)
+	if mbps <= 0 {
+		t.Fatalf("bandwidth = %f", mbps)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded under load")
+	}
+	stats := trace.PacketStageStats(rec.Sorted())
+	for _, s := range stats {
+		if s.Count == 0 {
+			t.Fatalf("stage %q saw no packets", s.Name)
+		}
+	}
+}

@@ -4,7 +4,14 @@ import (
 	"fmt"
 
 	"spam/internal/sim"
+	"spam/internal/trace"
 )
+
+// DefaultTracer, when non-nil, is attached to every cluster whose Config
+// does not name its own recorder. It exists so command-line tools can trace
+// benchmark functions that build their clusters internally, without
+// threading a recorder through every signature.
+var DefaultTracer *trace.Recorder
 
 // Cluster wires N nodes, their adapters, and a switch onto one simulation
 // engine. It is the root object every experiment starts from.
@@ -21,6 +28,11 @@ type Config struct {
 	Adapter  AdapterParams
 	Switch   SwitchParams
 	Seed     uint64
+
+	// Tracer, when non-nil, records per-packet lifecycle events for this
+	// cluster (see internal/trace). Nil falls back to DefaultTracer; both
+	// nil means tracing is off and costs nothing.
+	Tracer *trace.Recorder
 }
 
 // DefaultConfig returns an n-node thin-node SP, the machine of most of the
@@ -48,6 +60,10 @@ func NewCluster(cfg Config) *Cluster {
 		panic(fmt.Sprintf("hw: cluster needs at least 1 node, got %d", cfg.NumNodes))
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Tracer == nil {
+		cfg.Tracer = DefaultTracer
+	}
+	eng.SetTracer(cfg.Tracer)
 	c := &Cluster{
 		Eng:    eng,
 		Switch: NewSwitch(eng, cfg.NumNodes, cfg.Switch),

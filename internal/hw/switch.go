@@ -1,6 +1,9 @@
 package hw
 
-import "spam/internal/sim"
+import (
+	"spam/internal/sim"
+	"spam/internal/trace"
+)
 
 // Packet is one switch packet: it occupies a single send-FIFO entry and
 // travels the fabric as WireBytes() bytes. The communication layer's actual
@@ -15,6 +18,11 @@ type Packet struct {
 	HdrBytes int
 	Data     []byte
 	Msg      interface{}
+
+	// TraceID is the packet's trace identity, assigned at PushSend when a
+	// recorder is attached (0 = untraced). Duplicates and corrupt copies
+	// keep the original's id, so a trace shows their shared lineage.
+	TraceID int64
 }
 
 // WireBytes reports how many bytes this packet occupies on the MicroChannel
@@ -181,7 +189,14 @@ func (s *Switch) xferTime(bytes int) sim.Time {
 func (s *Switch) Send(pkt *Packet) {
 	s.Sent++
 	if s.Fault != nil {
-		switch v := s.Fault(pkt); v.Action {
+		v := s.Fault(pkt)
+		if v.Action != ActDeliver {
+			if rec := s.eng.Tracer(); rec != nil {
+				rec.Emit(int64(s.eng.Now()), trace.EvFault, pkt.Src, pkt.TraceID,
+					int64(v.Action), v.Action.String())
+			}
+		}
+		switch v.Action {
 		case ActDrop:
 			s.Lost++
 			s.Faults.Dropped++
@@ -208,15 +223,27 @@ func (s *Switch) Send(pkt *Packet) {
 // route moves the packet through injection port, fabric, and ejection port.
 func (s *Switch) route(pkt *Packet) {
 	t := s.xferTime(pkt.WireBytes())
+	rec := s.eng.Tracer()
+	eject := func() {
+		sta := s.out[pkt.Dst].IdleAt()
+		end := s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
+		if rec != nil && pkt.TraceID != 0 {
+			rec.Emit(int64(sta), trace.EvEjectSta, pkt.Dst, pkt.TraceID, 0, "")
+			rec.Emit(int64(end), trace.EvEjectEnd, pkt.Dst, pkt.TraceID, 0, "")
+		}
+	}
 	if pkt.Src == pkt.Dst {
-		s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
+		eject()
 		return
 	}
-	s.in[pkt.Src].Submit(t, func() {
-		s.eng.After(s.p.Latency, func() {
-			s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
-		})
+	sta := s.in[pkt.Src].IdleAt()
+	end := s.in[pkt.Src].Submit(t, func() {
+		s.eng.After(s.p.Latency, eject)
 	})
+	if rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(sta), trace.EvInjectSta, pkt.Src, pkt.TraceID, 0, "")
+		rec.Emit(int64(end), trace.EvInjectEnd, pkt.Src, pkt.TraceID, 0, "")
+	}
 }
 
 // corruptPacket returns a damaged copy of pkt: a bit flipped in a copy of

@@ -1,6 +1,9 @@
 package hw
 
-import "spam/internal/sim"
+import (
+	"spam/internal/sim"
+	"spam/internal/trace"
+)
 
 // TB2 models the SP's communication adapter: an i860 with 8 MB of DRAM that
 // watches a packet-length array, DMAs committed send-FIFO entries across the
@@ -70,6 +73,11 @@ func (a *TB2) PushSend(pkt *Packet) {
 	pkt.Src = a.node.ID
 	a.sendUsed++
 	a.staged = append(a.staged, pkt)
+	if rec := a.node.Eng.Tracer(); rec != nil {
+		pkt.TraceID = rec.NewPacketID()
+		rec.Emit(int64(a.node.Eng.Now()), trace.EvStaged, a.node.ID,
+			pkt.TraceID, int64(pkt.WireBytes()), pkt.Class())
+	}
 }
 
 // CommitLengths writes the length-array slots for all staged entries in one
@@ -93,17 +101,36 @@ func (a *TB2) CommitLengthsFree() { a.commit() }
 func (a *TB2) commit() {
 	batch := a.staged
 	a.staged = nil
+	rec := a.node.Eng.Tracer()
+	if rec != nil {
+		now := int64(a.node.Eng.Now())
+		for _, pkt := range batch {
+			if pkt.TraceID != 0 {
+				rec.Emit(now, trace.EvCommitted, a.node.ID, pkt.TraceID, 0, "")
+			}
+		}
+	}
 	// The pickup latency delays the whole batch equally (the firmware's
 	// length-array scan), so FIFO order is preserved.
 	a.node.Eng.After(a.p.PickupLatency, func() {
 		for _, pkt := range batch {
 			pkt := pkt
-			a.i860Send.Submit(a.p.SendProc, func() {
-				a.dmaOut.Submit(a.mcTime(pkt.WireBytes()), func() {
+			sta := a.i860Send.IdleAt()
+			end := a.i860Send.Submit(a.p.SendProc, func() {
+				dsta := a.dmaOut.IdleAt()
+				dend := a.dmaOut.Submit(a.mcTime(pkt.WireBytes()), func() {
 					a.sendUsed--
 					a.sw.Send(pkt)
 				})
+				if rec != nil && pkt.TraceID != 0 {
+					rec.Emit(int64(dsta), trace.EvDMAOutSta, a.node.ID, pkt.TraceID, 0, "")
+					rec.Emit(int64(dend), trace.EvDMAOutEnd, a.node.ID, pkt.TraceID, 0, "")
+				}
 			})
+			if rec != nil && pkt.TraceID != 0 {
+				rec.Emit(int64(sta), trace.EvI860SendSta, a.node.ID, pkt.TraceID, 0, "")
+				rec.Emit(int64(end), trace.EvI860SendEnd, a.node.ID, pkt.TraceID, 0, "")
+			}
 		}
 	})
 }
@@ -115,16 +142,35 @@ func (a *TB2) mcTime(bytes int) sim.Time {
 // deliver is the ejection-port callback: the i860 accepts the packet and
 // DMAs it into the host receive FIFO, dropping it if the FIFO is full.
 func (a *TB2) deliver(pkt *Packet) {
-	a.i860Recv.Submit(a.p.RecvProc, func() {
-		a.dmaIn.Submit(a.mcTime(pkt.WireBytes()), func() {
+	rec := a.node.Eng.Tracer()
+	sta := a.i860Recv.IdleAt()
+	end := a.i860Recv.Submit(a.p.RecvProc, func() {
+		dsta := a.dmaIn.IdleAt()
+		dend := a.dmaIn.Submit(a.mcTime(pkt.WireBytes()), func() {
 			if len(a.recvQ) >= a.recvCap {
 				a.DroppedOverflow++
+				if rec != nil && pkt.TraceID != 0 {
+					rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFODrop,
+						a.node.ID, pkt.TraceID, 0, "")
+				}
 				return
 			}
 			a.recvQ = append(a.recvQ, pkt)
 			a.Delivered++
+			if rec != nil && pkt.TraceID != 0 {
+				rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFOArrive,
+					a.node.ID, pkt.TraceID, int64(len(a.recvQ)), "")
+			}
 		})
+		if rec != nil && pkt.TraceID != 0 {
+			rec.Emit(int64(dsta), trace.EvDMAInSta, a.node.ID, pkt.TraceID, 0, "")
+			rec.Emit(int64(dend), trace.EvDMAInEnd, a.node.ID, pkt.TraceID, 0, "")
+		}
 	})
+	if rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(sta), trace.EvI860RecvSta, a.node.ID, pkt.TraceID, 0, "")
+		rec.Emit(int64(end), trace.EvI860RecvEnd, a.node.ID, pkt.TraceID, 0, "")
+	}
 }
 
 // RecvLen reports how many packets sit in the host receive FIFO.
@@ -147,5 +193,8 @@ func (a *TB2) RecvPop() *Packet {
 	pkt := a.recvQ[0]
 	copy(a.recvQ, a.recvQ[1:])
 	a.recvQ = a.recvQ[:len(a.recvQ)-1]
+	if rec := a.node.Eng.Tracer(); rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(a.node.Eng.Now()), trace.EvPolled, a.node.ID, pkt.TraceID, 0, "")
+	}
 	return pkt
 }

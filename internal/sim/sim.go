@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"spam/internal/trace"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -77,6 +79,12 @@ type Engine struct {
 
 	rng *Rand
 
+	// free recycles event structs: heap events are returned here after they
+	// run, so the steady-state event loop allocates nothing.
+	free []*event
+
+	tracer *trace.Recorder
+
 	// EventsRun counts executed events (performance/sanity diagnostics).
 	EventsRun int64
 }
@@ -96,6 +104,24 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random stream.
 func (e *Engine) Rand() *Rand { return e.rng }
 
+// SetTracer attaches a trace recorder; nil detaches (the default). The
+// recorder observes nothing by itself — instrumented layers read it via
+// Tracer and emit events when it is non-nil.
+func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
+
+// Tracer returns the attached trace recorder, or nil when tracing is off.
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// getEvent takes an event struct from the free list, or allocates one.
+func (e *Engine) getEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
 // At schedules fn to run in the engine goroutine at virtual time t. If t is
 // in the past it runs at the current time (after already-queued same-time
 // events).
@@ -104,7 +130,9 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	ev := e.getEvent()
+	ev.at, ev.seq, ev.fn, ev.proc = t, e.seq, fn, nil
+	heap.Push(&e.events, ev)
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
@@ -116,7 +144,9 @@ func (e *Engine) schedule(p *Proc, t Time) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, proc: p})
+	ev := e.getEvent()
+	ev.at, ev.seq, ev.fn, ev.proc = t, e.seq, nil, p
+	heap.Push(&e.events, ev)
 }
 
 // dispatch hands control to p and blocks until p parks or finishes.
@@ -144,11 +174,14 @@ func (e *Engine) Run(horizon Time) error {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.EventsRun++
-		if ev.fn != nil {
-			ev.fn()
+		fn, proc := ev.fn, ev.proc
+		ev.fn, ev.proc = nil, nil // release references before recycling
+		e.free = append(e.free, ev)
+		if fn != nil {
+			fn()
 		}
-		if ev.proc != nil {
-			e.dispatch(ev.proc)
+		if proc != nil {
+			e.dispatch(proc)
 		}
 	}
 	if e.live > 0 {

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a sampled instantaneous value.
+type Gauge struct{ v int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Value reports the last set value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. bucket 0 holds v == 0 and
+// bucket i>0 holds 2^(i-1) <= v < 2^i.
+const HistBuckets = 65
+
+// Histogram is a fixed-layout log2 histogram. Observation is a couple of
+// integer ops and never allocates, so it is safe on hot paths.
+type Histogram struct {
+	counts   [HistBuckets]int64
+	n, sum   int64
+	min, max int64
+}
+
+// Observe records v (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum reports the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean reports the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min and Max report the observed extremes (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile reports an upper bound on the q-quantile (the top edge of the
+// bucket holding it), q in [0,1].
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n-1))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// MetricKind tags a snapshot entry.
+type MetricKind uint8
+
+const (
+	KCounter MetricKind = iota
+	KGauge
+	KHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KCounter:
+		return "counter"
+	case KGauge:
+		return "gauge"
+	case KHistogram:
+		return "histogram"
+	}
+	return "?"
+}
+
+// Metric is one entry of a registry snapshot.
+type Metric struct {
+	Name string
+	Kind MetricKind
+
+	// Value is the counter/gauge value; for histograms it is the mean.
+	Value float64
+
+	// Histogram-only fields.
+	Count, Sum, Min, Max, P50, P99 int64
+}
+
+// Registry names and owns a set of metrics. Lookup by name happens at
+// wiring time (instrumented layers cache the typed pointers), so the hot
+// path touches only the metric structs. A nil *Registry disables metrics
+// the same way a nil *Recorder disables tracing.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot returns every metric, sorted by name (deterministic output for
+// reports and tests).
+func (r *Registry) Snapshot() []Metric {
+	var out []Metric
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KCounter, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KGauge, Value: float64(g.Value())})
+	}
+	for name, h := range r.histograms {
+		out = append(out, Metric{
+			Name: name, Kind: KHistogram, Value: h.Mean(),
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMetrics renders a snapshot as an aligned text table.
+func WriteMetrics(w io.Writer, snap []Metric) {
+	fmt.Fprintf(w, "%-36s %-9s %14s %10s %8s %8s %8s %8s\n",
+		"metric", "kind", "value", "count", "min", "p50", "p99", "max")
+	for _, m := range snap {
+		switch m.Kind {
+		case KHistogram:
+			fmt.Fprintf(w, "%-36s %-9s %14.2f %10d %8d %8d %8d %8d\n",
+				m.Name, m.Kind, m.Value, m.Count, m.Min, m.P50, m.P99, m.Max)
+		default:
+			fmt.Fprintf(w, "%-36s %-9s %14.0f %10s %8s %8s %8s %8s\n",
+				m.Name, m.Kind, m.Value, "-", "-", "-", "-", "-")
+		}
+	}
+}

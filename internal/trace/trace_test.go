@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	if r.Len() != 0 {
+		t.Fatalf("fresh recorder has %d events", r.Len())
+	}
+	id := r.NewPacketID()
+	id2 := r.NewPacketID()
+	if id == id2 || id == 0 || id2 == 0 {
+		t.Fatalf("bad packet IDs: %d, %d", id, id2)
+	}
+	r.Emit(100, EvStaged, 0, id, 36, "request")
+	r.Emit(50, EvCommitted, 0, id, 0, "")
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	s := r.Sorted()
+	if s[0].T != 50 || s[1].T != 100 {
+		t.Fatalf("Sorted out of order: %v", s)
+	}
+	// Events preserves emission order; Sorted does not disturb it.
+	if e := r.Events(); e[0].T != 100 {
+		t.Fatalf("Events reordered: %v", e)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Reset left %d events", r.Len())
+	}
+	if id3 := r.NewPacketID(); id3 == id || id3 == id2 {
+		t.Fatalf("Reset recycled packet ID %d", id3)
+	}
+}
+
+func TestRecorderDropCap(t *testing.T) {
+	r := NewWithCap(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(int64(i), EvPolled, 0, 0, 0, "")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("capped recorder holds %d events, want 4", r.Len())
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < kindMax; k++ {
+		if s := k.String(); s == "" || s == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if kindMax.String() != "?" {
+		t.Fatalf("out-of-range kind printed %q", kindMax.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1106 {
+		t.Fatalf("Count/Sum = %d/%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 184 || m > 185 {
+		t.Fatalf("Mean = %f, want ~184.3", m)
+	}
+	if q := h.Quantile(0.5); q != 3 { // bucket [2,4) upper edge
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	if q := h.Quantile(1.0); q != 1023 { // bucket [512,1024) upper edge
+		t.Fatalf("p100 = %d, want 1023", q)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last").Add(3)
+	reg.Gauge("a.first").Set(7)
+	reg.Histogram("m.mid").Observe(42)
+	// Same name must return the same instrument.
+	reg.Counter("z.last").Inc()
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	if snap[0].Name != "a.first" || snap[1].Name != "m.mid" || snap[2].Name != "z.last" {
+		t.Fatalf("snapshot not name-sorted: %v", snap)
+	}
+	if snap[2].Value != 4 {
+		t.Fatalf("counter = %f, want 4", snap[2].Value)
+	}
+	var buf bytes.Buffer
+	WriteMetrics(&buf, snap)
+	for _, want := range []string{"a.first", "m.mid", "z.last", "counter", "gauge", "histogram"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("WriteMetrics output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// chromeTrace mirrors the subset of the trace-event format the exporter
+// emits; parsing its output back through encoding/json proves the file is
+// well-formed.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// syntheticRun is one packet's life: staged on node 0, sent, ejected on
+// node 1, polled, handled.
+func syntheticRun() []Event {
+	return []Event{
+		{T: 0, Kind: EvReqStart, Node: 0, Arg: 1},
+		{T: 100, Kind: EvStaged, Node: 0, Pkt: 1, Arg: 36, Class: "request"},
+		{T: 200, Kind: EvI860SendSta, Node: 0, Pkt: 1},
+		{T: 6200, Kind: EvI860SendEnd, Node: 0, Pkt: 1},
+		{T: 6300, Kind: EvEjectSta, Node: 1, Pkt: 1},
+		{T: 7200, Kind: EvEjectEnd, Node: 1, Pkt: 1},
+		{T: 7300, Kind: EvFIFOArrive, Node: 1, Pkt: 1},
+		{T: 9000, Kind: EvPolled, Node: 1, Pkt: 1},
+		{T: 9100, Kind: EvHandlerStart, Node: 1, Pkt: 1, Arg: 2},
+		{T: 9400, Kind: EvHandlerEnd, Node: 1, Pkt: 1, Arg: 2},
+	}
+}
+
+func TestWriteChromeTraceParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticRun()); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var slices, meta, instants int
+	sawFIFO := false
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur < 0 {
+				t.Fatalf("negative duration slice: %+v", ev)
+			}
+			if strings.HasPrefix(ev.Name, "fifo") {
+				sawFIFO = true
+				if want := (9000.0 - 7300.0) / 1000.0; ev.Dur != want {
+					t.Fatalf("fifo residency dur = %f, want %f", ev.Dur, want)
+				}
+			}
+		case "M":
+			meta++
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unknown phase %q", ev.Ph)
+		}
+	}
+	// 3 matched spans (i860 send, eject, handler) + 1 synthesized FIFO
+	// residency.
+	if slices != 4 {
+		t.Fatalf("slices = %d, want 4", slices)
+	}
+	if !sawFIFO {
+		t.Fatal("no fifo residency slice synthesized")
+	}
+	// 2 nodes, each with a process_name and 10 thread_name records.
+	if meta != 22 {
+		t.Fatalf("meta = %d, want 22", meta)
+	}
+	// EvReqStart and EvStaged render as instants.
+	if instants != 2 {
+		t.Fatalf("instants = %d, want 2", instants)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTimeline(&buf, syntheticRun())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(syntheticRun()) {
+		t.Fatalf("timeline has %d lines, want %d", len(lines), len(syntheticRun()))
+	}
+	if !strings.Contains(lines[1], "staged") || !strings.Contains(lines[1], "(request)") {
+		t.Fatalf("timeline line lacks kind/class: %q", lines[1])
+	}
+}
+
+func TestPacketStageStats(t *testing.T) {
+	stats := PacketStageStats(syntheticRun())
+	if len(stats) == 0 {
+		t.Fatal("no stage stats")
+	}
+	for _, s := range stats {
+		if s.Name == "fifo residency" {
+			if s.Count != 1 || s.MeanUS != 1.7 {
+				t.Fatalf("fifo residency = %+v, want count 1 mean 1.7", s)
+			}
+			return
+		}
+	}
+	t.Fatal("fifo residency stage missing")
+}
+
+func TestDecomposeRejectsEmpty(t *testing.T) {
+	if _, err := DecomposeRoundTrip(nil, 0, 1); err == nil {
+		t.Fatal("DecomposeRoundTrip accepted an empty event stream")
+	}
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# check-golden.sh — regenerate every checked-in results/*.txt from the
+# current tree and fail on any byte difference. This is the guard that
+# keeps the simulator deterministic and keeps observability changes
+# (tracing, metrics) provably free when disabled.
+#
+#   scripts/check-golden.sh           # verify (CI mode)
+#   scripts/check-golden.sh -update   # refresh the goldens in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+update=0
+[ "${1:-}" = "-update" ] && update=1
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build ./...
+
+gen() { # gen <name> <command...>
+	local name=$1
+	shift
+	echo "  gen $name: $*"
+	"$@" >"$tmp/$name"
+}
+
+gen table3.txt go run ./cmd/spam-bench -table 3
+gen figure3.txt go run ./cmd/spam-bench -figure 3
+gen figure7.txt go run ./cmd/mpi-bench -figure 7
+gen figure8.txt go run ./cmd/mpi-bench -figure 8
+gen figure9.txt go run ./cmd/mpi-bench -figure 9
+gen figure10.txt go run ./cmd/mpi-bench -figure 10
+gen figure11.txt go run ./cmd/mpi-bench -figure 11
+gen table5.txt go run ./cmd/splitc-bench -paper
+gen table6.txt go run ./cmd/nas-bench
+
+fail=0
+for f in "$tmp"/*; do
+	name=$(basename "$f")
+	if [ $update -eq 1 ]; then
+		cp "$f" "results/$name"
+	elif ! diff -u "results/$name" "$f"; then
+		echo "GOLDEN MISMATCH: results/$name" >&2
+		fail=1
+	fi
+done
+if [ $fail -ne 0 ]; then
+	echo "golden results differ; if the change is intentional, rerun with -update" >&2
+	exit 1
+fi
+if [ $update -eq 1 ]; then
+	echo "goldens refreshed"
+else
+	echo "goldens OK"
+fi
