@@ -7,6 +7,7 @@ package spam
 // the results).
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -28,8 +29,8 @@ func BenchmarkTable2RequestReplyCost(b *testing.B) {
 			req := bench.RequestCost(n)
 			rep := bench.ReplyCost(n)
 			if i == 0 {
-				b.ReportMetric(req, "us/request_"+string(rune('0'+n)))
-				b.ReportMetric(rep, "us/reply_"+string(rune('0'+n)))
+				b.ReportMetric(req, "us/request_"+strconv.Itoa(n))
+				b.ReportMetric(rep, "us/reply_"+strconv.Itoa(n))
 			}
 		}
 	}

@@ -28,7 +28,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
 	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
+	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+	bench.Par = *par
 
 	obs := bench.NewObserver(*traceOut, *metrics)
 

@@ -374,9 +374,7 @@ func amStoreRingLatency(size int, wide bool) float64 {
 // AMBandwidthCurve sweeps message sizes and returns the Figure-3 curve for
 // one mode; total is the bytes moved per measurement (the paper uses 1 MB).
 func AMBandwidthCurve(mode BulkMode, sizes []int, total int) Curve {
-	c := Curve{Name: "AM " + mode.String()}
-	for _, n := range sizes {
-		c.Points = append(c.Points, Point{N: n, MBps: AMBandwidth(mode, n, total)})
-	}
-	return c
+	return Curve{Name: "AM " + mode.String(), Points: Sweep(len(sizes), func(i int) Point {
+		return Point{N: sizes[i], MBps: AMBandwidth(mode, sizes[i], total)}
+	})}
 }

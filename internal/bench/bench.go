@@ -35,11 +35,15 @@ func (c Curve) RInf() float64 {
 }
 
 // NHalf returns the half-power point: the transfer size at which the rate
-// first reaches half of r∞, linearly interpolated between samples.
+// first reaches half of r∞, linearly interpolated between samples. Sweeps
+// produce points already in size order; a copy is sorted only when needed.
 func (c Curve) NHalf() float64 {
 	half := c.RInf() / 2
-	pts := append([]Point(nil), c.Points...)
-	sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+	pts := c.Points
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].N < pts[j].N }) {
+		pts = append([]Point(nil), c.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+	}
 	for i, pt := range pts {
 		if pt.MBps >= half {
 			if i == 0 {
@@ -67,10 +71,15 @@ func SizesLog(lo, hi int) []int {
 // format the cmd tools use to regenerate the paper's figures.
 func PrintCurves(w io.Writer, title string, curves []Curve) {
 	fmt.Fprintf(w, "# %s\n", title)
+	// Index each curve once (size -> rate) so emitting the table is
+	// O(sizes x curves) rather than a linear rescan of every curve per cell.
 	sizes := map[int]bool{}
-	for _, c := range curves {
+	rate := make([]map[int]float64, len(curves))
+	for ci, c := range curves {
+		rate[ci] = make(map[int]float64, len(c.Points))
 		for _, pt := range c.Points {
 			sizes[pt.N] = true
+			rate[ci][pt.N] = pt.MBps
 		}
 	}
 	var ns []int
@@ -85,18 +94,11 @@ func PrintCurves(w io.Writer, title string, curves []Curve) {
 	fmt.Fprintln(w)
 	for _, n := range ns {
 		fmt.Fprintf(w, "%10d", n)
-		for _, c := range curves {
-			v := -1.0
-			for _, pt := range c.Points {
-				if pt.N == n {
-					v = pt.MBps
-					break
-				}
-			}
-			if v < 0 {
-				fmt.Fprintf(w, " %22s", "-")
-			} else {
+		for ci := range curves {
+			if v, ok := rate[ci][n]; ok {
 				fmt.Fprintf(w, " %22.2f", v)
+			} else {
+				fmt.Fprintf(w, " %22s", "-")
 			}
 		}
 		fmt.Fprintln(w)

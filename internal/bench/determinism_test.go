@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The parallel sweep runner must be invisible in the output: every command's
+// generation path, rendered serially and with maximum fan-out, has to be
+// byte-identical. These tests exercise the same code paths as the four
+// commands (spam-bench -figure 3, mpi-bench -figure 8/9, splitc-bench,
+// nas-bench) at reduced scale.
+
+// withPar runs f under the given sweep setting and restores the default.
+func withPar(par int, f func()) {
+	old := Par
+	Par = par
+	defer func() { Par = old }()
+	f()
+}
+
+func requireSameBytes(t *testing.T, name string, render func() []byte) {
+	t.Helper()
+	var serial, parallel []byte
+	withPar(1, func() { serial = render() })
+	withPar(0, func() { parallel = render() })
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("%s: parallel sweep output differs from serial\nserial:\n%s\nparallel:\n%s",
+			name, serial, parallel)
+	}
+}
+
+func TestParallelSweepMatchesSerialAMCurves(t *testing.T) {
+	sizes := SizesLog(64, 4096)
+	requireSameBytes(t, "spam-bench figure-3 path", func() []byte {
+		curves := []Curve{
+			AMBandwidthCurve(SyncStore, sizes, 1<<16),
+			AMBandwidthCurve(AsyncStore, sizes, 1<<16),
+			MPLBandwidthCurve(true, sizes, 1<<16),
+			MPLBandwidthCurve(false, sizes, 1<<16),
+		}
+		var buf bytes.Buffer
+		PrintCurves(&buf, "determinism", curves)
+		return buf.Bytes()
+	})
+}
+
+func TestParallelSweepMatchesSerialMPICurves(t *testing.T) {
+	latSizes := []int{4, 64, 1024}
+	bwSizes := SizesLog(256, 8192)
+	requireSameBytes(t, "mpi-bench figure-8/9 path", func() []byte {
+		var buf bytes.Buffer
+		lat := []Curve{
+			MPILatencyCurve(MPIAMOpt, latSizes, false),
+			MPILatencyCurve(MPIF, latSizes, false),
+		}
+		bw := []Curve{
+			MPIBandwidthCurve(MPIAMOpt, bwSizes, 1<<16, false),
+			MPIBandwidthCurve(MPIF, bwSizes, 1<<16, false),
+		}
+		PrintCurves(&buf, "latency", lat)
+		PrintCurves(&buf, "bandwidth", bw)
+		return buf.Bytes()
+	})
+}
+
+func TestParallelSweepMatchesSerialTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cfg := QuickTable5()
+	cfg.Keys = 1 << 10 // smallest sort that still runs every phase
+	machines := Table5Machines(cfg.NProcs)
+	requireSameBytes(t, "splitc-bench path", func() []byte {
+		var buf bytes.Buffer
+		PrintTable5(&buf, RunTable5(cfg, machines), machines)
+		return buf.Bytes()
+	})
+}
+
+func TestParallelSweepMatchesSerialNAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	requireSameBytes(t, "nas-bench path", func() []byte {
+		var buf bytes.Buffer
+		PrintNAS(&buf, RunNAS(QuickNAS()), 4)
+		return buf.Bytes()
+	})
+}
+
+// TestSweepOrderAndCoverage pins the contract the benches rely on: every
+// index is evaluated exactly once and results land at their own index.
+func TestSweepOrderAndCoverage(t *testing.T) {
+	for _, par := range []int{1, 0, 3, 64} {
+		withPar(par, func() {
+			got := Sweep(257, func(i int) int { return i * i })
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("par=%d: index %d holds %d, want %d", par, i, v, i*i)
+				}
+			}
+		})
+	}
+}

@@ -223,18 +223,14 @@ func MPIHybridPrefixBandwidth(prefix, size, total int) float64 {
 
 // MPILatencyCurve sweeps Figure 8/10 sizes for one implementation.
 func MPILatencyCurve(impl MPIImpl, sizes []int, wide bool) Curve {
-	c := Curve{Name: impl.String()}
-	for _, n := range sizes {
-		c.Points = append(c.Points, Point{N: n, MBps: MPIRingLatency(impl, n, wide)})
-	}
-	return c
+	return Curve{Name: impl.String(), Points: Sweep(len(sizes), func(i int) Point {
+		return Point{N: sizes[i], MBps: MPIRingLatency(impl, sizes[i], wide)}
+	})}
 }
 
 // MPIBandwidthCurve sweeps Figure 7/9/11 sizes for one implementation.
 func MPIBandwidthCurve(impl MPIImpl, sizes []int, total int, wide bool) Curve {
-	c := Curve{Name: impl.String()}
-	for _, n := range sizes {
-		c.Points = append(c.Points, Point{N: n, MBps: MPIBandwidth(impl, n, total, wide)})
-	}
-	return c
+	return Curve{Name: impl.String(), Points: Sweep(len(sizes), func(i int) Point {
+		return Point{N: sizes[i], MBps: MPIBandwidth(impl, sizes[i], total, wide)}
+	})}
 }

@@ -101,9 +101,7 @@ func MPLBandwidthCurve(blocking bool, sizes []int, total int) Curve {
 	if blocking {
 		name = "MPL send/reply"
 	}
-	c := Curve{Name: name}
-	for _, n := range sizes {
-		c.Points = append(c.Points, Point{N: n, MBps: MPLBandwidth(blocking, n, total)})
-	}
-	return c
+	return Curve{Name: name, Points: Sweep(len(sizes), func(i int) Point {
+		return Point{N: sizes[i], MBps: MPLBandwidth(blocking, sizes[i], total)}
+	})}
 }

@@ -65,10 +65,15 @@ func RunNAS(cfg NASConfig) []NASRow {
 		{"MG", nas.MG(cfg.MG)},
 		{"SP", nas.ADI(cfg.SP)},
 	}
+	// One sweep point per (kernel, implementation) run: the ten simulations
+	// are independent, so they fan out across the sweep workers.
+	res := Sweep(2*len(kernels), func(i int) nas.Result {
+		kk := kernels[i/2]
+		return runNASOn(cfg.NProcs, i%2 == 0, kk.name, kk.k)
+	})
 	var rows []NASRow
-	for _, kk := range kernels {
-		f := runNASOn(cfg.NProcs, true, kk.name, kk.k)
-		a := runNASOn(cfg.NProcs, false, kk.name, kk.k)
+	for i, kk := range kernels {
+		f, a := res[2*i], res[2*i+1]
 		rows = append(rows, NASRow{
 			Bench: kk.name, MPIF: f.Seconds, MPIAM: a.Seconds,
 			ChecksumsAgree: f.Checksum == a.Checksum,

@@ -81,16 +81,16 @@ func RunTable5(cfg Table5Config, machines []MachineFactory) []apps.Result {
 			func(pl splitc.Platform) apps.Result { return apps.RadixSort(pl, cfg.Keys, true) },
 			apps.RadixSortHeap(cfg.Keys, cfg.NProcs)},
 	}
-	var out []apps.Result
-	for _, b := range benches {
-		for _, m := range machines {
-			res := b.run(m.New(b.heap))
-			res.Bench = b.name
-			res.Platform = m.Name
-			out = append(out, res)
-		}
-	}
-	return out
+	// Fan the (benchmark, machine) grid across the sweep workers; the
+	// row-major result order the printers rely on is preserved by index.
+	nm := len(machines)
+	return Sweep(len(benches)*nm, func(i int) apps.Result {
+		b, m := benches[i/nm], machines[i%nm]
+		res := b.run(m.New(b.heap))
+		res.Bench = b.name
+		res.Platform = m.Name
+		return res
+	})
 }
 
 // PrintTable5 writes the absolute-times table (paper Table 5) and the

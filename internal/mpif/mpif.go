@@ -84,6 +84,7 @@ type Request struct {
 	data    []byte
 	rdvID   uint32
 	ctsSeen bool
+	sendH   *mpl.SendHandle // rendezvous data injection progress
 
 	// recv side
 	buf    []byte

@@ -132,21 +132,25 @@ func (c *Comm) shipData(p *sim.Proc, dst int, rdvID uint32) {
 		panic("mpif: CTS for unknown send")
 	}
 	delete(c.rdvSends, rdvID)
-	// Private copy: the request is complete from MPI's point of view once
-	// the library owns the data, and the transport holds it by reference
-	// until injection.
-	c.ep.Send(p, dst, dataTag(rdvID), append([]byte(nil), req.data...))
+	// Private copy: the library owns the data from here, and the transport
+	// holds it by reference until injection. The request only completes once
+	// injection finishes (see Wait), keeping the sender driving the credit
+	// window instead of stranding a queued message while it computes.
+	req.sendH = c.ep.SendH(p, dst, dataTag(rdvID), append([]byte(nil), req.data...))
 	req.ctsSeen = true
 	req.done = true
 }
 
-// Wait blocks until req completes.
+// Wait blocks until req completes. A rendezvous send is complete only when
+// its data message has fully left the library for the adapter: MPL injection
+// is host-driven (per-destination message credits and the packet window are
+// serviced by library calls only), so returning at clear-to-send with the
+// data still queued would let the caller enter a long computation phase
+// during which no packet moves — the 16-node NAS exchange stall.
 func (c *Comm) Wait(p *sim.Proc, req *Request) mpi.Status {
-	for !req.done {
+	for !req.done || (req.sendH != nil && !req.sendH.Injected()) {
 		c.progress(p)
 	}
-	// A completed send may still have injection pending; that drains as
-	// the transport is driven by later calls.
 	return req.status
 }
 

@@ -178,12 +178,27 @@ func (ep *Endpoint) callCost(base sim.Time) sim.Time {
 // has accepted it, pipelining injection behind per-message credits. Data is
 // captured by reference; the caller must not reuse it until SendsDrained.
 func (ep *Endpoint) Send(p *sim.Proc, dst, tag int, data []byte) {
+	ep.SendH(p, dst, tag, data)
+}
+
+// SendHandle tracks one queued message's progress into the adapter.
+type SendHandle struct{ m *txMsg }
+
+// Injected reports whether the message has fully entered the send FIFO.
+// Injection is driven by library calls (credits arrive in the receive FIFO
+// and are only seen by polling), so a caller that needs the message moving
+// before a long silence must drive the endpoint until Injected.
+func (h *SendHandle) Injected() bool { return h.m.injected }
+
+// SendH is Send returning an injection handle.
+func (ep *Endpoint) SendH(p *sim.Proc, dst, tag int, data []byte) *SendHandle {
 	ep.Sends++
 	ep.node.ComputeUnscaled(p, ep.callCost(costSendOverhead))
 	ep.nextMsg++
 	m := &txMsg{msgID: ep.nextMsg, tag: tag, data: data}
 	ep.tx[dst].q = append(ep.tx[dst].q, m)
 	ep.progress(p)
+	return &SendHandle{m: m}
 }
 
 // BSend is mpc_bsend: it blocks until the source buffer is reusable, i.e.

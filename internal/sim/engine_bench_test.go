@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+// Host-time microbenchmarks of the engine hot paths. Unlike the simulated
+// benchmarks at the repo root (whose Go ns/op is meaningless), these measure
+// the real cost of the event loop itself — events/sec is the figure that
+// bounds how many scenarios a wall-clock budget can afford to run.
+// scripts/bench-host.sh snapshots them into BENCH_host.json.
+
+// BenchmarkEngineCallbackEvents drives a self-rechaining callback: one
+// schedule + one pop + one dispatch per op with a near-empty heap. This is
+// the pure per-event overhead floor.
+func BenchmarkEngineCallbackEvents(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(1, step)
+		}
+	}
+	e.After(1, step)
+	e.RunAll()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineHeapChurn keeps ~512 events outstanding at pseudo-random
+// future times, exercising real sift-up/sift-down work per operation.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	e := NewEngine(1)
+	const depth = 512
+	r := NewRand(7)
+	count := 0
+	var fire func()
+	fire = func() {
+		count++
+		if count+depth <= b.N {
+			e.After(Time(1+r.Intn(1000)), fire)
+		}
+	}
+	for i := 0; i < depth && i < b.N; i++ {
+		e.After(Time(1+r.Intn(1000)), fire)
+	}
+	e.RunAll()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkProcAdvance measures the engine<->process control handoff: each
+// op is one Advance(1) — a schedule, a heap pop, and a full goroutine
+// round trip (ns/op is ns/dispatch).
+func BenchmarkProcAdvance(b *testing.B) {
+	e := NewEngine(1)
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+	e.RunAll()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkProcYield measures Advance(0) — the same-time wakeup path that
+// the run queue serves without touching the heap.
+func BenchmarkProcYield(b *testing.B) {
+	e := NewEngine(1)
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(0)
+		}
+	})
+	e.RunAll()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkCondSignalPingPong bounces two processes off each other through
+// a pair of condition variables: each op is one Signal wakeup (same-time
+// scheduling) plus a dispatch.
+func BenchmarkCondSignalPingPong(b *testing.B) {
+	e := NewEngine(1)
+	a, c := &Cond{Name: "a"}, &Cond{Name: "b"}
+	e.Go("p0", func(p *Proc) {
+		p.Advance(0) // let p1 reach its first Wait so no signal is lost
+		for i := 0; i < b.N/2; i++ {
+			c.Signal()
+			a.Wait(p)
+		}
+		c.Signal()
+	})
+	e.Go("p1", func(p *Proc) {
+		for i := 0; i < b.N/2; i++ {
+			c.Wait(p)
+			a.Signal()
+		}
+	})
+	e.RunAll()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

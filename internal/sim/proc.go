@@ -21,10 +21,11 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// park returns control to the engine and blocks until re-dispatched.
+// park deschedules p: the goroutine keeps the baton and runs the scheduler
+// loop itself, returning as soon as p's next wakeup fires (possibly without
+// ever switching goroutines — see Engine.exec).
 func (p *Proc) park() {
-	p.eng.parked <- struct{}{}
-	<-p.resume
+	p.eng.exec(p)
 }
 
 // Advance charges d nanoseconds of virtual time to this process: the

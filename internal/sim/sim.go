@@ -5,13 +5,18 @@
 // The kernel follows the classic process-interaction style: simulated
 // programs are written as ordinary sequential Go code running in a Proc
 // (backed by a goroutine), and virtual time advances only through the event
-// heap. Exactly one goroutine — the engine or a single process — executes at
-// any instant; control is handed off synchronously through unbuffered
-// channels, so a simulation is fully deterministic and reproducible.
+// queue. Exactly one goroutine — the engine or a single process — executes
+// at any instant; control is handed off synchronously through channels, so a
+// simulation is fully deterministic and reproducible.
+//
+// Events live in a value-typed arena ordered by an inline 4-ary min-heap on
+// (at, seq); same-time wakeups (Advance(0), Cond.Signal) bypass the heap
+// through a FIFO run queue. Neither path boxes events or allocates in steady
+// state, which is what keeps host-time events/sec high (see
+// engine_bench_test.go and scripts/bench-host.sh).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -35,10 +40,12 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single entry in the event heap. Exactly one of fn and proc is
-// set: fn events run inline in the engine goroutine (callback style, used by
+// event is a single scheduled occurrence. Exactly one of fn and proc is set:
+// fn events run inline in the engine goroutine (callback style, used by
 // hardware pipeline stages), proc events transfer control to a parked
-// process.
+// process. Events are plain values — they live in the heap arena or the run
+// queue, never behind a pointer, so scheduling performs no allocation and no
+// interface boxing.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break for determinism: FIFO among same-time events
@@ -46,42 +53,51 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the (at, seq) strict-weak order shared by the heap and the run
+// queue; it is what makes event execution order a pure function of the
+// schedule calls, independent of Go's scheduler.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
-// Engine owns the virtual clock and the event heap and drives all processes.
+// Engine owns the virtual clock and the event queue and drives all
+// processes.
+//
+// Control transfer is baton-passing: whichever goroutine is executing — the
+// Run caller or a process that just parked — runs the scheduler loop itself
+// and switches directly to the next process, rather than bouncing every
+// event through a central engine goroutine. A process whose own wakeup is
+// the next event simply keeps running (zero goroutine switches), and a
+// proc-to-proc wakeup costs one switch instead of two.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	parked chan struct{} // proc -> engine control handoff
+	now     Time
+	seq     uint64
+	horizon Time // active Run's horizon (0 = none); read by the exec loop
+
+	// events is a 4-ary min-heap on (at, seq) holding only future events
+	// (at > now at push time). 4-ary beats binary here: same asymptotics,
+	// half the depth, and the four-way child scan stays in one cache line
+	// of 32-byte events.
+	events []event
+
+	// runq holds same-time events (scheduled with at <= now) in FIFO order;
+	// runqHead is the index of the next entry to run. Every entry's at is
+	// the current now: the clock only advances when the run queue is empty.
+	// Heap events with at == now always precede run-queue entries — they
+	// were pushed before the clock reached now, so their seq is smaller.
+	runq     []event
+	runqHead int
+
+	parked chan struct{} // last executor -> Run caller: "this run is over"
 
 	procs   []*Proc
 	live    int // workload (non-daemon) procs that have not finished
 	running *Proc
 
 	rng *Rand
-
-	// free recycles event structs: heap events are returned here after they
-	// run, so the steady-state event loop allocates nothing.
-	free []*event
 
 	tracer *trace.Recorder
 
@@ -112,77 +128,185 @@ func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
 // Tracer returns the attached trace recorder, or nil when tracing is off.
 func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
 
-// getEvent takes an event struct from the free list, or allocates one.
-func (e *Engine) getEvent() *event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free = e.free[:n-1]
-		return ev
+// push routes one event: future times into the heap, current time onto the
+// run queue.
+func (e *Engine) push(t Time, fn func(), p *Proc) {
+	if t < e.now {
+		t = e.now
 	}
-	return &event{}
+	e.seq++
+	ev := event{at: t, seq: e.seq, fn: fn, proc: p}
+	if t == e.now {
+		e.runq = append(e.runq, ev)
+		return
+	}
+	e.heapPush(ev)
 }
 
 // At schedules fn to run in the engine goroutine at virtual time t. If t is
 // in the past it runs at the current time (after already-queued same-time
 // events).
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	ev := e.getEvent()
-	ev.at, ev.seq, ev.fn, ev.proc = t, e.seq, fn, nil
-	heap.Push(&e.events, ev)
-}
+func (e *Engine) At(t Time, fn func()) { e.push(t, fn, nil) }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) { e.push(e.now+d, fn, nil) }
 
 // schedule queues a wakeup for p at time t.
-func (e *Engine) schedule(p *Proc, t Time) {
-	if t < e.now {
-		t = e.now
+func (e *Engine) schedule(p *Proc, t Time) { e.push(t, nil, p) }
+
+// heapPush sift-ups ev into the 4-ary heap, moving parents into the hole
+// rather than swapping.
+func (e *Engine) heapPush(ev event) {
+	h := append(e.events, ev)
+	e.events = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !before(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
 	}
-	e.seq++
-	ev := e.getEvent()
-	ev.at, ev.seq, ev.fn, ev.proc = t, e.seq, nil, p
-	heap.Push(&e.events, ev)
+	h[i] = ev
 }
 
-// dispatch hands control to p and blocks until p parks or finishes.
-func (e *Engine) dispatch(p *Proc) {
-	if p.finished {
+// heapPop removes and returns the minimum event, sifting the displaced last
+// element down through the cheapest of up to four children per level. The
+// vacated slot is zeroed so the arena never pins dead fn closures or procs.
+func (e *Engine) heapPop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if before(&h[j], &h[min]) {
+					min = j
+				}
+			}
+			if !before(&h[min], &last) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// nextEvent removes and returns the next event in (at, seq) order, or
+// reports false when the run is over (queue empty, or every remaining event
+// lies beyond the horizon). Run-queue entries are at the current time; they
+// run before any heap event scheduled later, but after heap events at now
+// (those carry smaller seqs — see the runq field comment).
+func (e *Engine) nextEvent() (event, bool) {
+	if e.runqHead < len(e.runq) && (len(e.events) == 0 || e.events[0].at > e.now) {
+		ev := e.runq[e.runqHead]
+		e.runq[e.runqHead] = event{}
+		e.runqHead++
+		if e.runqHead == len(e.runq) {
+			e.runq = e.runq[:0]
+			e.runqHead = 0
+		}
+		return ev, true
+	}
+	if len(e.events) == 0 {
+		return event{}, false
+	}
+	if e.horizon > 0 && e.events[0].at > e.horizon {
+		return event{}, false
+	}
+	ev := e.heapPop()
+	e.now = ev.at
+	return ev, true
+}
+
+// exec is the scheduler loop as run by a process goroutine, entered when
+// self parks (or finishes, with self.finished set). It executes events until
+// one of three things happens: self's own wakeup fires (return, keep
+// running — no goroutine switch), control passes to another process (one
+// direct switch; block until re-dispatched), or the run is over (hand the
+// baton back to the Run caller and block).
+func (e *Engine) exec(self *Proc) {
+	for {
+		ev, ok := e.nextEvent()
+		if !ok {
+			e.running = nil
+			e.parked <- struct{}{}
+			if self.finished {
+				return
+			}
+			<-self.resume
+			return
+		}
+		e.EventsRun++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		q := ev.proc
+		if q.finished {
+			continue
+		}
+		e.running = q
+		if q == self {
+			return
+		}
+		q.resume <- struct{}{}
+		if self.finished {
+			return
+		}
+		<-self.resume
 		return
 	}
-	prev := e.running
-	e.running = p
-	p.resume <- struct{}{}
-	<-e.parked
-	e.running = prev
 }
 
-// Run executes events until the heap is empty or the optional horizon is
+// Run executes events until the queue is empty or the optional horizon is
 // reached (horizon <= 0 means no horizon). It returns an error if workload
 // processes remain blocked when no more events can occur (a deadlock), with
 // a diagnosis of what each blocked process was waiting for.
 func (e *Engine) Run(horizon Time) error {
-	for len(e.events) > 0 {
-		if horizon > 0 && e.events[0].at > horizon {
-			e.now = horizon
-			return nil
+	e.horizon = horizon
+	for {
+		ev, ok := e.nextEvent()
+		if !ok {
+			break
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
 		e.EventsRun++
-		fn, proc := ev.fn, ev.proc
-		ev.fn, ev.proc = nil, nil // release references before recycling
-		e.free = append(e.free, ev)
-		if fn != nil {
-			fn()
+		if ev.fn != nil {
+			ev.fn()
+			continue
 		}
-		if proc != nil {
-			e.dispatch(proc)
+		q := ev.proc
+		if q.finished {
+			continue
 		}
+		// Hand the baton to q; it (or whichever process executes last)
+		// returns it when the run is over.
+		e.running = q
+		q.resume <- struct{}{}
+		<-e.parked
+		break
+	}
+	if horizon > 0 && len(e.events) > 0 && e.events[0].at > horizon {
+		e.now = horizon
+		return nil
 	}
 	if e.live > 0 {
 		return e.deadlockError()
@@ -241,7 +365,9 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		if !daemon {
 			e.live--
 		}
-		e.parked <- struct{}{}
+		// The finished process still holds the baton: keep executing events
+		// until control moves to another goroutine, then exit.
+		e.exec(p)
 	}()
 	e.schedule(p, e.now)
 	return p

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench-host.sh — run the host-time engine microbenchmarks
+# (internal/sim/engine_bench_test.go) and snapshot them as BENCH_host.json.
+#
+# These measure the real cost of the simulator's event loop (events/sec,
+# ns/dispatch) — not simulated quantities. They are the numbers that bound
+# how much scenario coverage a wall-clock budget buys.
+#
+#   scripts/bench-host.sh                 # writes BENCH_host.json
+#   scripts/bench-host.sh out.json        # custom output path
+#   BENCHTIME=5s scripts/bench-host.sh    # longer, steadier runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_host.json}
+mkdir -p "$(dirname "$out")"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/sim/ -run '^$' -bench . -benchtime "${BENCHTIME:-1s}" -count 1 | tee "$tmp" >&2
+
+{
+	echo '{'
+	echo '  "schema": "spam-host-bench/v1",'
+	awk '
+		/^goos:/   { printf("  \"goos\": \"%s\",\n", $2) }
+		/^goarch:/ { printf("  \"goarch\": \"%s\",\n", $2) }
+		/^cpu:/    { line=$0; sub(/^cpu: */, "", line); printf("  \"cpu\": \"%s\",\n", line) }
+	' "$tmp"
+	echo '  "benchmarks": ['
+	awk '
+		BEGIN { first = 1 }
+		/^Benchmark/ {
+			name = $1
+			sub(/^Benchmark/, "", name)
+			sub(/-[0-9]+$/, "", name)
+			if (!first) printf(",\n")
+			first = 0
+			printf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"events_per_sec\": %s}", name, $3, $5)
+		}
+		END { printf("\n") }
+	' "$tmp"
+	echo '  ]'
+	echo '}'
+} >"$out"
+echo "wrote $out" >&2

@@ -6,11 +6,27 @@
 #
 #   scripts/check-golden.sh           # verify (CI mode)
 #   scripts/check-golden.sh -update   # refresh the goldens in place
+#   scripts/check-golden.sh -par N    # fan sweeps across N workers (0 = all
+#                                     # CPUs); output must stay byte-identical
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 update=0
-[ "${1:-}" = "-update" ] && update=1
+par=1
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-update) update=1 ;;
+	-par)
+		shift
+		par=$1
+		;;
+	*)
+		echo "usage: $0 [-update] [-par N]" >&2
+		exit 2
+		;;
+	esac
+	shift
+done
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -24,15 +40,15 @@ gen() { # gen <name> <command...>
 	"$@" >"$tmp/$name"
 }
 
-gen table3.txt go run ./cmd/spam-bench -table 3
-gen figure3.txt go run ./cmd/spam-bench -figure 3
-gen figure7.txt go run ./cmd/mpi-bench -figure 7
-gen figure8.txt go run ./cmd/mpi-bench -figure 8
-gen figure9.txt go run ./cmd/mpi-bench -figure 9
-gen figure10.txt go run ./cmd/mpi-bench -figure 10
-gen figure11.txt go run ./cmd/mpi-bench -figure 11
-gen table5.txt go run ./cmd/splitc-bench -paper
-gen table6.txt go run ./cmd/nas-bench
+gen table3.txt go run ./cmd/spam-bench -par "$par" -table 3
+gen figure3.txt go run ./cmd/spam-bench -par "$par" -figure 3
+gen figure7.txt go run ./cmd/mpi-bench -par "$par" -figure 7
+gen figure8.txt go run ./cmd/mpi-bench -par "$par" -figure 8
+gen figure9.txt go run ./cmd/mpi-bench -par "$par" -figure 9
+gen figure10.txt go run ./cmd/mpi-bench -par "$par" -figure 10
+gen figure11.txt go run ./cmd/mpi-bench -par "$par" -figure 11
+gen table5.txt go run ./cmd/splitc-bench -par "$par" -paper
+gen table6.txt go run ./cmd/nas-bench -par "$par"
 
 fail=0
 for f in "$tmp"/*; do
