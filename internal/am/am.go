@@ -11,12 +11,17 @@
 // acks are piggybacked whenever possible, bulk data travels in 8064-byte
 // chunks acknowledged once per chunk, and a keep-alive probe recovers from
 // ack starvation. See paper §2.
+//
+// The steady-state packet path performs no heap allocations: headers are
+// carried by value, packets and bulk-operation records come from free
+// lists, and every protocol queue is a ring buffer.
 package am
 
 import (
 	"fmt"
 
 	"spam/internal/hw"
+	"spam/internal/ring"
 	"spam/internal/sim"
 )
 
@@ -130,10 +135,11 @@ type Endpoint struct {
 	inHandler bool // restricts handlers to replies (GAM rule)
 
 	nextOp        uint64
-	ops           map[uint64]*bulkOp // in-flight ops this endpoint initiated
-	rawQ          []*hw.Packet       // raw-mode receive queue (calibration only)
-	popCount      int                // pops since start (lazy-pop batching)
-	pendingCommit int                // staged FIFO entries not yet committed
+	ops           map[uint64]*bulkOp    // in-flight ops this endpoint initiated
+	bulkFree      []*bulkOp             // bulkOp free list (recycled at completion)
+	rawQ          ring.Ring[*hw.Packet] // raw-mode receive queue (calibration only)
+	popCount      int                   // pops since start (lazy-pop batching)
+	pendingCommit int                   // staged FIFO entries not yet committed
 
 	Stats Stats
 	// Data is application-owned context (runtimes hang their state here).
@@ -159,6 +165,30 @@ func (ep *Endpoint) peer(id int) *peerState {
 	return ep.peers[id]
 }
 
+// getBulkOp takes a bulk-operation record from the free list (or allocates
+// one) and bumps its generation. The generation lets a blocking Store/Get
+// detect that its op completed and was recycled while it polled: a waiter
+// captures the generation at creation and treats any change as completion.
+func (ep *Endpoint) getBulkOp() *bulkOp {
+	var op *bulkOp
+	if n := len(ep.bulkFree); n > 0 {
+		op = ep.bulkFree[n-1]
+		ep.bulkFree[n-1] = nil
+		ep.bulkFree = ep.bulkFree[:n-1]
+	} else {
+		op = &bulkOp{}
+	}
+	g := op.gen
+	*op = bulkOp{gen: g + 1}
+	return op
+}
+
+// putBulkOp recycles a completed op. Callers must have removed it from
+// ep.ops first; waiters notice the recycled generation.
+func (ep *Endpoint) putBulkOp(op *bulkOp) {
+	ep.bulkFree = append(ep.bulkFree, op)
+}
+
 // ChannelDebug is a diagnostic snapshot of one sequence channel to a peer.
 type ChannelDebug struct {
 	NextSeq, AckedSeq uint64
@@ -179,8 +209,8 @@ func (ep *Endpoint) DebugChannel(peer, ch int) ChannelDebug {
 	rc := &ps.rx[ch]
 	return ChannelDebug{
 		NextSeq: tc.nextSeq, AckedSeq: tc.ackedSeq, Window: tc.wnd,
-		Queued: len(tc.q), Saved: len(tc.saved), Retx: len(tc.retx),
-		WaitAck: len(tc.waitAck), RxExpect: rc.expect, RxUnacked: rc.unackedPkts,
+		Queued: tc.q.Len(), Saved: tc.saved.Len(), Retx: tc.retx.Len(),
+		WaitAck: tc.waitAck.Len(), RxExpect: rc.expect, RxUnacked: rc.unackedPkts,
 	}
 }
 
@@ -207,16 +237,17 @@ func newPeerState(opt Options) *peerState {
 	return ps
 }
 
-// txChan is the sending half of one sequence channel to one peer.
+// txChan is the sending half of one sequence channel to one peer. All four
+// queues are ring buffers: pops are O(1) and never retain popped entries.
 type txChan struct {
 	nextSeq  uint64 // next sequence unit to assign
 	ackedSeq uint64 // all units below this are acknowledged
 	wnd      int
 
-	q       []*txOp    // operations not yet fully injected
-	saved   []savedPkt // injected but unacknowledged packets
-	retx    []savedPkt // packets awaiting retransmission injection
-	waitAck []*bulkOp  // fully injected bulk ops awaiting final ack (FIFO)
+	q       ring.Ring[txOp]     // operations not yet fully injected
+	saved   ring.Ring[savedPkt] // injected but unacknowledged packets
+	retx    ring.Ring[savedPkt] // packets awaiting retransmission injection
+	waitAck ring.Ring[*bulkOp]  // fully injected bulk ops awaiting final ack (FIFO)
 
 	lastNackRetx uint64 // last nack sequence acted on (dedup)
 	hasNackRetx  bool
@@ -231,13 +262,36 @@ type savedPkt struct {
 	data []byte // reference into the op's source (still pinned: op unacked)
 }
 
-// rxChan is the receiving half of one sequence channel from one peer.
+// rxChan is the receiving half of one sequence channel from one peer. The
+// in-progress chunk reassembly state is inlined (one chunk can be arriving
+// at a time — chunks are in-order) with a reusable arrival bitmap.
 type rxChan struct {
 	expect      uint64 // next expected sequence unit (== cumulative ack value)
 	unackedPkts int    // received since we last acked in any way
 	lastNacked  uint64 // dedup: expect value we already nacked
 	badSince    int    // out-of-order arrivals since the last nack
-	chunk       *rxChunk
+
+	chunkActive bool
+	chunkSeq    uint64
+	chunkNeed   int
+	chunkCount  int
+	chunkGot    []bool // reused across chunks; grown once
+}
+
+// startChunk resets the reassembly state for the chunk at seq.
+func (rc *rxChan) startChunk(seq uint64, pkts int) {
+	rc.chunkActive = true
+	rc.chunkSeq = seq
+	rc.chunkNeed = pkts
+	rc.chunkCount = 0
+	if cap(rc.chunkGot) < pkts {
+		rc.chunkGot = make([]bool, pkts)
+	} else {
+		rc.chunkGot = rc.chunkGot[:pkts]
+		for i := range rc.chunkGot {
+			rc.chunkGot[i] = false
+		}
+	}
 }
 
 // nackRefresh re-sends a NACK after this many further out-of-order arrivals
@@ -247,29 +301,27 @@ type rxChan struct {
 // timer from ever firing.
 const nackRefresh = 64
 
-// rxChunk reassembles the (single, in-order) chunk currently arriving.
-type rxChunk struct {
-	seq   uint64
-	need  int
-	got   []bool
-	count int
-}
-
-// txOp is a queued send operation: a short message or a bulk transfer.
+// txOp is a queued send operation: a short message or a bulk transfer. It
+// is stored by value in the per-channel queue ring; whether a queued short
+// has been injected is tracked by the ring's monotone pop counter (shorts
+// are popped exactly when injected), so no flag or heap box is needed.
 type txOp struct {
-	short *msg // non-nil for request/reply/getreq/ack/nack/probe
+	m       msg  // the short message (isShort)
+	isShort bool // short message vs bulk stream
 
 	bulk *bulkOp // non-nil for store/get-data streams
 
 	shortBuild sim.Time // host build cost to charge at injection
-	injected   bool     // short message has been pushed to the FIFO
 }
 
 // bulkOp tracks a bulk transfer from the sending side (store or get-data)
-// and, for gets, from the initiating side.
+// and, for gets, from the initiating side. Records are recycled through the
+// endpoint's free list when the op completes; gen disambiguates reuse for
+// blocked waiters.
 type bulkOp struct {
+	gen      uint64 // bumped on every allocation from the free list
 	id       uint64
-	bk       bulkKind
+	bk       uint8
 	dst      int // node receiving the data
 	ch       int
 	src      []byte  // data source (sender side)

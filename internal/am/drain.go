@@ -15,7 +15,7 @@ func (s *System) Quiescent() bool {
 		for _, ps := range ep.peers {
 			for ch := 0; ch < 2; ch++ {
 				tc := &ps.tx[ch]
-				if tc.inFlight() != 0 || len(tc.q) != 0 || len(tc.retx) != 0 || len(tc.waitAck) != 0 {
+				if tc.inFlight() != 0 || tc.q.Len() != 0 || tc.retx.Len() != 0 || tc.waitAck.Len() != 0 {
 					return false
 				}
 			}

@@ -16,23 +16,25 @@ func (ep *Endpoint) RawSend(p *sim.Proc, dst int, nbytes int) {
 		ep.Poll(p)
 	}
 	wire := hw.PacketHeaderSize + nbytes
-	m := &msg{kind: kRaw}
+	m := msg{Kind: kRaw}
 	ep.node.ComputeUnscaled(p, costRawSend)
 	ep.node.Flush(p, wire)
+	// Raw packets escape the pool: RawRecv hands the whole packet (and its
+	// payload) to the caller, so the payload is a plain allocation. This
+	// path is calibration-only and never in the steady-state loop.
 	var data []byte
 	if nbytes > 0 {
 		data = make([]byte, nbytes)
 	}
-	ep.push(dst, m, data, wire)
+	ep.push(dst, &m, data, wire)
 	ep.maybeCommit(p, true)
 }
 
-// RawRecv returns the next raw packet delivered by Poll, or nil.
+// RawRecv returns the next raw packet delivered by Poll, or nil. The
+// packet is the caller's; it is not returned to the pool.
 func (ep *Endpoint) RawRecv() *hw.Packet {
-	if len(ep.rawQ) == 0 {
+	if ep.rawQ.Len() == 0 {
 		return nil
 	}
-	pkt := ep.rawQ[0]
-	ep.rawQ = ep.rawQ[1:]
-	return pkt
+	return ep.rawQ.Pop()
 }

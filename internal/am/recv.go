@@ -37,7 +37,9 @@ func (ep *Endpoint) Poll(p *sim.Proc) {
 		ad.RecvPop()
 		got++
 		ep.chargePop(p)
-		ep.processPacket(p, pkt)
+		if !ep.processPacket(p, pkt) {
+			ep.node.Pool.Put(pkt)
+		}
 	}
 	if got == 0 {
 		ep.Stats.EmptyPolls++
@@ -63,8 +65,11 @@ func (ep *Endpoint) chargePop(p *sim.Proc) {
 	}
 }
 
-func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) {
-	m := pkt.Msg.(*msg)
+// processPacket consumes one received packet and reports whether it
+// retained the packet record (only raw-mode packets are kept, queued for
+// RawRecv); the caller returns unretained packets to the pool.
+func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) bool {
+	m := &pkt.Hdr
 	src := pkt.Src
 	ep.Stats.PacketsReceived++
 	// Wire checksum first: a corrupted packet must never reach a handler,
@@ -72,28 +77,28 @@ func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) {
 	// turns corruption into loss, which the NACK/keep-alive machinery
 	// already recovers (sequenced packets via go-back-N on the next gap,
 	// control packets via probe/refresh).
-	if m.csum != m.wireChecksum(pkt.Data) {
+	if m.Csum != m.WireChecksum(pkt.Data) {
 		ep.Stats.CorruptDropped++
 		if met := ep.sys.met; met != nil {
 			met.corruptDropped.Inc()
 		}
 		ep.node.ComputeUnscaled(p, costPerMsg) // the host still examined it
-		return
+		return false
 	}
 	ps := ep.peer(src)
 	ps.emptyStreak = 0
 
-	if m.kind == kRaw {
+	if m.Kind == kRaw {
 		ep.node.ComputeUnscaled(p, costRawRecv)
-		ep.rawQ = append(ep.rawQ, pkt)
-		return
+		ep.rawQ.Push(pkt)
+		return true
 	}
 	ep.node.ComputeUnscaled(p, costPerMsg)
 
-	if m.hasAck {
-		ep.applyAck(p, src, m.ackReq, m.ackRep)
+	if m.HasAck {
+		ep.applyAck(p, src, m.AckReq, m.AckRep)
 	}
-	switch m.kind {
+	switch m.Kind {
 	case kAck:
 		// Cumulative ack already applied above.
 	case kNack:
@@ -103,6 +108,7 @@ func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) {
 	case kRequest, kReply, kGetReq, kChunk:
 		ep.handleSequenced(p, src, ps, m, pkt)
 	}
+	return false
 }
 
 // applyAck advances both channels' acked horizons, prunes the retransmit
@@ -115,18 +121,22 @@ func (ep *Endpoint) applyAck(p *sim.Proc, src int, ackReq, ackRep uint64) {
 			continue
 		}
 		tc.ackedSeq = ack
-		for len(tc.saved) > 0 && tc.saved[0].m.seq+tc.saved[0].m.span() <= ack {
-			tc.saved = tc.saved[1:]
+		for tc.saved.Len() > 0 {
+			sp := tc.saved.Peek()
+			if sp.m.Seq+sp.m.Span() > ack {
+				break
+			}
+			tc.saved.Pop()
 		}
 		if tc.hasNackRetx && tc.ackedSeq > tc.lastNackRetx {
 			tc.hasNackRetx = false
 		}
-		for len(tc.waitAck) > 0 {
-			op := tc.waitAck[0]
+		for tc.waitAck.Len() > 0 {
+			op := *tc.waitAck.Peek()
 			if !op.injected || tc.ackedSeq < op.lastSeq+op.span {
 				break
 			}
-			tc.waitAck = tc.waitAck[1:]
+			tc.waitAck.Pop()
 			op.acked = true
 			// Only evict our own tracked op: get-data ops we serve for a
 			// peer carry the INITIATOR's id, which may coincide with one
@@ -139,6 +149,9 @@ func (ep *Endpoint) applyAck(p *sim.Proc, src int, ackReq, ackRep uint64) {
 				op.onComplete(p, ep)
 				ep.inHandler = false
 			}
+			// Recycle the record; a blocked Store waiter notices either
+			// acked (before reuse) or the bumped generation (after).
+			ep.putBulkOp(op)
 		}
 	}
 	// A probe was outstanding: if this ack leaves saved packets uncovered,
@@ -147,8 +160,11 @@ func (ep *Endpoint) applyAck(p *sim.Proc, src int, ackReq, ackRep uint64) {
 		ps.probed = false
 		for ch := 0; ch < 2; ch++ {
 			tc := &ps.tx[ch]
-			if len(tc.saved) > 0 {
-				tc.retx = append(tc.retx[:0], tc.saved...)
+			if tc.saved.Len() > 0 {
+				tc.retx.Clear()
+				for i := 0; i < tc.saved.Len(); i++ {
+					tc.retx.Push(*tc.saved.At(i))
+				}
 			}
 		}
 	}
@@ -157,26 +173,27 @@ func (ep *Endpoint) applyAck(p *sim.Proc, src int, ackReq, ackRep uint64) {
 // handleNack queues go-back-N retransmission of everything from the
 // receiver's expected sequence onward.
 func (ep *Endpoint) handleNack(src int, m *msg) {
-	tc := &ep.peer(src).tx[m.ch]
-	if tc.hasNackRetx && tc.lastNackRetx == m.seq && len(tc.retx) > 0 {
+	tc := &ep.peer(src).tx[m.Ch]
+	if tc.hasNackRetx && tc.lastNackRetx == m.Seq && tc.retx.Len() > 0 {
 		return // already retransmitting for this loss event
 	}
-	tc.retx = tc.retx[:0]
-	for _, sp := range tc.saved {
-		if sp.m.seq >= m.seq {
-			tc.retx = append(tc.retx, sp)
+	tc.retx.Clear()
+	for i := 0; i < tc.saved.Len(); i++ {
+		sp := tc.saved.At(i)
+		if sp.m.Seq >= m.Seq {
+			tc.retx.Push(*sp)
 		}
 	}
-	if len(tc.retx) > 0 {
+	if tc.retx.Len() > 0 {
 		tc.hasNackRetx = true
-		tc.lastNackRetx = m.seq
+		tc.lastNackRetx = m.Seq
 	}
 }
 
 func (ep *Endpoint) handleSequenced(p *sim.Proc, src int, ps *peerState, m *msg, pkt *hw.Packet) {
-	rc := &ps.rx[m.ch]
+	rc := &ps.rx[m.Ch]
 	switch {
-	case m.seq > rc.expect:
+	case m.Seq > rc.expect:
 		// A gap: something was dropped. NACK once per loss event, with a
 		// periodic refresh in case the nack or the retransmission burst was
 		// itself lost.
@@ -184,16 +201,16 @@ func (ep *Endpoint) handleSequenced(p *sim.Proc, src int, ps *peerState, m *msg,
 		if rc.lastNacked != rc.expect || rc.badSince >= nackRefresh {
 			rc.lastNacked = rc.expect
 			rc.badSince = 0
-			ep.sendCtrl(p, src, kNack, rc.expect, m.ch)
+			ep.sendCtrl(p, src, kNack, rc.expect, m.Ch)
 		}
-	case m.seq < rc.expect:
+	case m.Seq < rc.expect:
 		// Duplicate from a retransmission; re-ack so the sender can slide.
 		ep.Stats.Duplicates++
 		ps.forceAck = true
 	default:
 		rc.lastNacked = ^uint64(0)
 		rc.badSince = 0
-		if m.kind == kChunk {
+		if m.Kind == kChunk {
 			ep.acceptChunkPacket(p, src, ps, rc, m, pkt)
 		} else {
 			rc.expect++
@@ -205,81 +222,90 @@ func (ep *Endpoint) handleSequenced(p *sim.Proc, src int, ps *peerState, m *msg,
 
 // acceptChunkPacket reassembles the in-order chunk at rc.expect; packets
 // within a chunk share its sequence number and are ordered by offset
-// (paper §2.2).
+// (paper §2.2). Reassembly state lives inline in the rxChan with a reused
+// arrival bitmap — chunks are strictly in-order, so one suffices.
 func (ep *Endpoint) acceptChunkPacket(p *sim.Proc, src int, ps *peerState, rc *rxChan, m *msg, pkt *hw.Packet) {
-	if rc.chunk == nil || rc.chunk.seq != m.seq {
-		rc.chunk = &rxChunk{seq: m.seq, need: m.chunkPkts, got: make([]bool, m.chunkPkts)}
+	if !rc.chunkActive || rc.chunkSeq != m.Seq {
+		rc.startChunk(m.Seq, m.ChunkPkts)
 	}
-	c := rc.chunk
-	if c.got[m.pktIdx] {
+	if rc.chunkGot[m.PktIdx] {
 		ep.Stats.Duplicates++
 		return
 	}
-	c.got[m.pktIdx] = true
-	c.count++
+	rc.chunkGot[m.PktIdx] = true
+	rc.chunkCount++
 	if len(pkt.Data) > 0 {
-		dst := ep.node.Mem.Slice(m.daddr, len(pkt.Data))
+		dst := ep.node.Mem.Slice(m.DAddr, len(pkt.Data))
 		copy(dst, pkt.Data)
 		ep.node.Memcpy(p, len(pkt.Data))
 	}
 	if !ep.sys.Opt.AckPerChunk {
 		// Ablation: the naive protocol acknowledges every data packet as
 		// it arrives instead of once per chunk.
-		ep.sendCtrl(p, src, kAck, 0, m.ch)
+		ep.sendCtrl(p, src, kAck, 0, m.Ch)
 	}
-	if c.count < c.need {
+	if rc.chunkCount < rc.chunkNeed {
 		return
 	}
 	// Chunk complete: slide, schedule its (single) acknowledgement.
-	rc.chunk = nil
-	rc.expect += uint64(c.need)
-	rc.unackedPkts += c.need
+	need := rc.chunkNeed
+	rc.chunkActive = false
+	rc.expect += uint64(need)
+	rc.unackedPkts += need
 	if ep.sys.Opt.AckPerChunk {
 		ps.forceAck = true
 	}
-	if !m.final {
+	if !m.Final {
 		return
 	}
 	// Whole operation arrived.
-	base := hw.Addr{Seg: m.daddr.Seg, Off: m.daddr.Off - m.boff}
-	switch m.bk {
+	base := hw.Addr{Seg: m.DAddr.Seg, Off: m.DAddr.Off - m.BOff}
+	switch m.BK {
 	case bkStore:
-		if m.h != NoHandler {
-			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: true}, base, m.total, m.arg, pkt.TraceID)
+		if HandlerID(m.H) != NoHandler {
+			ep.runBulkHandler(p, HandlerID(m.H), Token{Src: src, mayReply: true}, base, m.Total, m.Arg, pkt.TraceID)
 		}
 	case bkGetData:
 		// We initiated this get; data is home.
-		if op, ok := ep.ops[m.op]; ok {
+		if op, ok := ep.ops[m.Op]; ok {
 			op.done = true
-			delete(ep.ops, m.op)
+			delete(ep.ops, m.Op)
+			// Recycle; a blocked Get waiter sees done or the bumped gen.
+			ep.putBulkOp(op)
 		}
-		if m.h != NoHandler {
-			ep.runBulkHandler(p, m.h, Token{Src: src, mayReply: false}, base, m.total, m.arg, pkt.TraceID)
+		if HandlerID(m.H) != NoHandler {
+			ep.runBulkHandler(p, HandlerID(m.H), Token{Src: src, mayReply: false}, base, m.Total, m.Arg, pkt.TraceID)
 		}
 	}
 }
 
 func (ep *Endpoint) deliverShort(p *sim.Proc, src int, m *msg, tid int64) {
-	switch m.kind {
+	switch m.Kind {
 	case kRequest:
-		ep.runHandler(p, m.h, Token{Src: src, mayReply: true}, m.args[:m.nargs], tid)
+		ep.runHandler(p, HandlerID(m.H), Token{Src: src, mayReply: true}, m.Args[:m.Nargs], tid)
 	case kReply:
-		ep.runHandler(p, m.h, Token{Src: src, mayReply: false}, m.args[:m.nargs], tid)
+		ep.runHandler(p, HandlerID(m.H), Token{Src: src, mayReply: false}, m.Args[:m.Nargs], tid)
 	case kGetReq:
 		// Serve the get: stream our memory back on the reply channel. The
-		// op id is the initiator's, echoed on the data packets.
+		// op id is the initiator's, echoed on the data packets; the op is
+		// not tracked in ep.ops (it is not ours).
 		ep.node.ComputeUnscaled(p, costGetServe)
 		var srcData []byte
-		if m.nbytes > 0 {
-			srcData = ep.node.Mem.Slice(m.raddr, m.nbytes)
+		if m.NBytes > 0 {
+			srcData = ep.node.Mem.Slice(m.RAddr, m.NBytes)
 		}
-		op := &bulkOp{
-			id: m.op, bk: bkGetData, dst: src, ch: chRep,
-			src: srcData, daddr: m.laddr, total: m.nbytes,
-			h: m.h, arg: m.args[0],
-		}
+		op := ep.getBulkOp()
+		op.id = m.Op
+		op.bk = bkGetData
+		op.dst = src
+		op.ch = chRep
+		op.src = srcData
+		op.daddr = m.LAddr
+		op.total = m.NBytes
+		op.h = HandlerID(m.H)
+		op.arg = m.Args[0]
 		tc := &ep.peer(src).tx[chRep]
-		tc.q = append(tc.q, &txOp{bulk: op})
+		tc.q.Push(txOp{bulk: op})
 	}
 }
 
@@ -331,7 +357,7 @@ func (ep *Endpoint) explicitAcks(p *sim.Proc) {
 // packets triggers retransmission (paper §2.2's keep-alive protocol).
 func (ep *Endpoint) keepAlive(p *sim.Proc) {
 	for id, ps := range ep.peers {
-		if len(ps.tx[chReq].saved) == 0 && len(ps.tx[chRep].saved) == 0 {
+		if ps.tx[chReq].saved.Len() == 0 && ps.tx[chRep].saved.Len() == 0 {
 			ps.emptyStreak = 0
 			continue
 		}

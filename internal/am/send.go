@@ -31,7 +31,7 @@ func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) {
 	ep.emit(trace.EvReplyStart, 0, int64(len(args)), "")
 	m := ep.shortMsg(kReply, chRep, h, args)
 	ps := ep.peer(tok.Src)
-	ps.tx[chRep].q = append(ps.tx[chRep].q, &txOp{short: m})
+	ps.tx[chRep].q.Push(txOp{m: m, isShort: true})
 	// Best-effort injection; if the window or FIFO is full the reply stays
 	// queued and the surrounding Poll drains it later (handlers must not
 	// spin on the network).
@@ -43,8 +43,10 @@ func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) {
 // memory is reusable, i.e. the final chunk has been acknowledged (§2.2: for
 // transfers beyond one chunk this is indistinguishable from StoreAsync).
 func (ep *Endpoint) Store(p *sim.Proc, dst int, raddr hw.Addr, data []byte, h HandlerID, arg uint32) {
-	op := ep.startStore(p, dst, raddr, data, h, arg, nil)
-	for !op.acked {
+	op, g := ep.startStore(p, dst, raddr, data, h, arg, nil)
+	// The op record is recycled once acked; a changed generation means it
+	// completed (and was reused) while we polled.
+	for op.gen == g && !op.acked {
 		ep.Poll(p)
 	}
 }
@@ -58,24 +60,31 @@ func (ep *Endpoint) StoreAsync(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
 }
 
 func (ep *Endpoint) startStore(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
-	h HandlerID, arg uint32, onComplete CompletionFunc) *bulkOp {
+	h HandlerID, arg uint32, onComplete CompletionFunc) (*bulkOp, uint64) {
 	ep.mustNotBeInHandler("Store")
 	ep.Stats.Stores++
 	ep.node.ComputeUnscaled(p, costStoreSetup)
-	op := &bulkOp{
-		id: ep.opID(), bk: bkStore, dst: dst, ch: chReq,
-		src: data, daddr: raddr, total: len(data),
-		h: h, arg: arg, onComplete: onComplete,
-	}
+	op := ep.getBulkOp()
+	op.id = ep.opID()
+	op.bk = bkStore
+	op.dst = dst
+	op.ch = chReq
+	op.src = data
+	op.daddr = raddr
+	op.total = len(data)
+	op.h = h
+	op.arg = arg
+	op.onComplete = onComplete
+	g := op.gen // capture before any Poll can complete and recycle the op
 	ep.track(op)
 	ps := ep.peer(dst)
-	ps.tx[chReq].q = append(ps.tx[chReq].q, &txOp{bulk: op})
+	ps.tx[chReq].q.Push(txOp{bulk: op})
 	ep.drainPeer(p, dst)
 	// Stores are request-class operations: like am_request, every call
 	// polls the network once, which also keeps receive FIFOs drained
 	// during store bursts.
 	ep.Poll(p)
-	return op
+	return op, g
 }
 
 // Get fetches nbytes from the remote block (dst, raddr) into the local
@@ -83,8 +92,8 @@ func (ep *Endpoint) startStore(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
 // NoHandler) is invoked locally on completion, matching am_get's semantics.
 func (ep *Endpoint) Get(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
 	h HandlerID, arg uint32) {
-	op := ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
-	for !op.done {
+	op, g := ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
+	for op.gen == g && !op.done {
 		ep.Poll(p)
 	}
 }
@@ -97,21 +106,27 @@ func (ep *Endpoint) GetAsync(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr,
 }
 
 func (ep *Endpoint) startGet(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
-	h HandlerID, arg uint32) *bulkOp {
+	h HandlerID, arg uint32) (*bulkOp, uint64) {
 	ep.mustNotBeInHandler("Get")
 	ep.Stats.Gets++
-	op := &bulkOp{
-		id: ep.opID(), bk: bkGetData, dst: ep.ID(), ch: chRep,
-		daddr: laddr, total: nbytes, h: h, arg: arg,
-	}
+	op := ep.getBulkOp()
+	op.id = ep.opID()
+	op.bk = bkGetData
+	op.dst = ep.ID()
+	op.ch = chRep
+	op.daddr = laddr
+	op.total = nbytes
+	op.h = h
+	op.arg = arg
+	g := op.gen
 	ep.track(op)
-	m := &msg{
-		kind: kGetReq, ch: chReq, op: op.id,
-		raddr: raddr, laddr: laddr, nbytes: nbytes,
-		h: h, args: [4]uint32{arg}, nargs: 1,
+	m := msg{
+		Kind: kGetReq, Ch: chReq, Op: op.id,
+		RAddr: raddr, LAddr: laddr, NBytes: nbytes,
+		H: int(h), Args: [4]uint32{arg}, Nargs: 1,
 	}
 	ep.sendShortBlocking(p, dst, m, costStoreSetup)
-	return op
+	return op, g
 }
 
 // mustNotBeInHandler enforces the GAM handler restriction the paper leans
@@ -134,27 +149,30 @@ func (ep *Endpoint) track(op *bulkOp) {
 	ep.ops[op.id] = op
 }
 
-func (ep *Endpoint) shortMsg(k kind, ch int, h HandlerID, args []uint32) *msg {
+func (ep *Endpoint) shortMsg(k hw.Kind, ch int, h HandlerID, args []uint32) msg {
 	if len(args) > 4 {
 		panic("am: more than 4 argument words")
 	}
 	if int(h) < 0 {
 		panic("am: invalid handler id")
 	}
-	m := &msg{kind: k, ch: ch, h: h, nargs: len(args)}
-	copy(m.args[:], args)
+	m := msg{Kind: k, Ch: ch, H: int(h), Nargs: len(args)}
+	copy(m.Args[:], args)
 	return m
 }
 
 // sendShortBlocking queues m and polls until it has been injected (window
-// and FIFO space acquired); buildCost is the host build charge.
-func (ep *Endpoint) sendShortBlocking(p *sim.Proc, dst int, m *msg, buildCost sim.Time) {
-	op := &txOp{short: m}
-	op.shortBuild = buildCost
+// and FIFO space acquired); buildCost is the host build charge. Injection
+// is detected through the queue ring's monotone pop counter: shorts are
+// popped exactly when injected, so once our ticket has been popped the
+// message is on the wire.
+func (ep *Endpoint) sendShortBlocking(p *sim.Proc, dst int, m msg, buildCost sim.Time) {
 	ps := ep.peer(dst)
-	ps.tx[m.ch].q = append(ps.tx[m.ch].q, op)
+	tc := &ps.tx[m.Ch]
+	tc.q.Push(txOp{m: m, isShort: true, shortBuild: buildCost})
+	ticket := tc.q.Pushed()
 	ep.drainPeer(p, dst)
-	for !op.injected {
+	for tc.q.Popped() < ticket {
 		ep.Poll(p)
 	}
 }
@@ -178,27 +196,27 @@ func (ep *Endpoint) drainPeer(p *sim.Proc, dst int) {
 	for ch := 0; ch < 2; ch++ {
 		tc := &ps.tx[ch]
 		// Retransmissions: limited only by FIFO space.
-		for len(tc.retx) > 0 && ad.SendSpace() > 0 {
-			sp := tc.retx[0]
-			tc.retx = tc.retx[1:]
+		for tc.retx.Len() > 0 && ad.SendSpace() > 0 {
+			sp := tc.retx.Pop()
 			ep.injectSaved(p, dst, sp)
 			ep.maybeCommit(p, false)
 		}
 		// Fresh operations.
-		for len(tc.q) > 0 {
-			op := tc.q[0]
-			if op.short != nil {
+		for tc.q.Len() > 0 {
+			op := tc.q.Peek()
+			if op.isShort {
 				if ad.SendSpace() < 1 || tc.inFlight()+1 > uint64(tc.wnd) {
 					break
 				}
 				ep.injectShort(p, dst, tc, op)
-				tc.q = tc.q[1:]
+				tc.q.Pop()
 				continue
 			}
 			// Bulk op: inject whole chunks while window+FIFO allow.
-			ep.injectBulkChunks(p, dst, tc, op.bulk)
-			if op.bulk.injected {
-				tc.q = tc.q[1:]
+			bulk := op.bulk
+			ep.injectBulkChunks(p, dst, tc, bulk)
+			if bulk.injected {
+				tc.q.Pop()
 				continue
 			}
 			break // chunk would not fit now; resume on a later poll
@@ -230,20 +248,21 @@ func (ep *Endpoint) maybeCommit(p *sim.Proc, force bool) {
 // explicit-ack debt.
 func (ep *Endpoint) stampAcks(dst int, m *msg) {
 	ps := ep.peer(dst)
-	if ep.sys.Opt.PiggybackAcks || m.kind == kAck || m.kind == kNack {
-		m.ackReq = ps.rx[chReq].expect
-		m.ackRep = ps.rx[chRep].expect
-		m.hasAck = true
+	if ep.sys.Opt.PiggybackAcks || m.Kind == kAck || m.Kind == kNack {
+		m.AckReq = ps.rx[chReq].expect
+		m.AckRep = ps.rx[chRep].expect
+		m.HasAck = true
 		ps.rx[chReq].unackedPkts = 0
 		ps.rx[chRep].unackedPkts = 0
 		ps.forceAck = false
 	}
 }
 
-// injectShort pushes one short message, charging build + flush.
+// injectShort pushes one short message, charging build + flush. op points
+// at the queue ring's head slot; the caller pops it immediately after.
 func (ep *Endpoint) injectShort(p *sim.Proc, dst int, tc *txChan, op *txOp) {
-	m := op.short
-	m.seq = tc.nextSeq
+	m := &op.m
+	m.Seq = tc.nextSeq
 	tc.nextSeq++
 	if met := ep.sys.met; met != nil {
 		met.inflight.Observe(int64(tc.inFlight()))
@@ -258,27 +277,26 @@ func (ep *Endpoint) injectShort(p *sim.Proc, dst int, tc *txChan, op *txOp) {
 	ep.node.Flush(p, wire)
 	ep.stampAcks(dst, m)
 	ep.push(dst, m, nil, wire)
-	if m.kind != kAck && m.kind != kNack && m.kind != kProbe {
-		tc.saved = append(tc.saved, savedPkt{m: *m})
+	if m.Kind != kAck && m.Kind != kNack && m.Kind != kProbe {
+		tc.saved.Push(savedPkt{m: *m})
 	}
-	op.injected = true
 }
 
 func (ep *Endpoint) ctrlBuildCost(m *msg) sim.Time {
-	switch m.kind {
+	switch m.Kind {
 	case kReply:
-		return costReplyBuild + wordsCost(m.nargs)
+		return costReplyBuild + wordsCost(m.Nargs)
 	case kAck, kNack, kProbe:
 		return costCtrlBuild
 	default:
-		return costReqBuild + wordsCost(m.nargs)
+		return costReqBuild + wordsCost(m.Nargs)
 	}
 }
 
 func (ep *Endpoint) shortWire(m *msg) int {
-	switch m.kind {
+	switch m.Kind {
 	case kRequest, kReply:
-		return shortWireBytes(m.nargs)
+		return shortWireBytes(m.Nargs)
 	case kGetReq:
 		return hw.PacketHeaderSize + 16 // addresses + length
 	default:
@@ -317,11 +335,11 @@ func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkO
 			if op.src != nil {
 				data = op.src[off:end]
 			}
-			m := &msg{
-				kind: kChunk, ch: op.ch, seq: seq, bk: op.bk, op: op.id,
-				daddr: hw.Addr{Seg: op.daddr.Seg, Off: op.daddr.Off + off},
-				total: op.total, chunkPkts: pkts, pktIdx: i, final: final,
-				h: op.h, arg: op.arg, boff: off,
+			m := msg{
+				Kind: kChunk, Ch: op.ch, Seq: seq, BK: op.bk, Op: op.id,
+				DAddr: hw.Addr{Seg: op.daddr.Seg, Off: op.daddr.Off + off},
+				Total: op.total, ChunkPkts: pkts, PktIdx: i, Final: final,
+				H: int(op.h), Arg: op.arg, BOff: off,
 			}
 			wire := hw.PacketHeaderSize + len(data)
 			ep.node.ComputeUnscaled(p, costBulkPerPkt)
@@ -329,9 +347,9 @@ func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkO
 				ep.node.Memcpy(p, len(data)) // copy into the FIFO entry
 			}
 			ep.node.Flush(p, wire)
-			ep.stampAcks(dst, m)
-			ep.push(dst, m, data, wire)
-			tc.saved = append(tc.saved, savedPkt{m: *m, data: data})
+			ep.stampAcks(dst, &m)
+			ep.push(dst, &m, data, wire)
+			tc.saved.Push(savedPkt{m: m, data: data})
 			ep.maybeCommit(p, false)
 		}
 		op.sent += chunkBytes
@@ -340,7 +358,7 @@ func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkO
 		pushed = true
 		if final {
 			op.injected = true
-			tc.waitAck = append(tc.waitAck, op)
+			tc.waitAck.Push(op)
 			return pushed
 		}
 	}
@@ -353,10 +371,10 @@ func (ep *Endpoint) injectSaved(p *sim.Proc, dst int, sp savedPkt) {
 	if met := ep.sys.met; met != nil {
 		met.retransmits.Inc()
 	}
-	ep.emit(trace.EvRetransmit, 0, int64(sp.m.seq), sp.m.kind.String())
+	ep.emit(trace.EvRetransmit, 0, int64(sp.m.Seq), sp.m.Kind.Class())
 	m := sp.m // copy; re-stamp acks freshly
 	var wire int
-	if m.kind == kChunk {
+	if m.Kind == kChunk {
 		wire = hw.PacketHeaderSize + len(sp.data)
 		ep.node.ComputeUnscaled(p, costBulkPerPkt)
 		if len(sp.data) > 0 {
@@ -374,29 +392,34 @@ func (ep *Endpoint) injectSaved(p *sim.Proc, dst int, sp savedPkt) {
 // push places the packet in the send FIFO (caller verified space). The
 // wire checksum is stamped here — after ack piggybacking — so every
 // transmission, including retransmissions, carries a checksum over its
-// final header contents.
+// final header contents. The packet record comes from the node's pool; the
+// receiving endpoint returns it after processing.
 func (ep *Endpoint) push(dst int, m *msg, data []byte, wire int) {
-	m.csum = m.wireChecksum(data)
+	m.Csum = m.WireChecksum(data)
 	ep.Stats.PacketsSent++
 	ep.Stats.BytesSent += int64(wire)
 	ep.pendingCommit++
-	pkt := &hw.Packet{Dst: dst, HdrBytes: wire - len(data), Data: data, Msg: m}
+	pkt := ep.node.Pool.Get()
+	pkt.Dst = dst
+	pkt.HdrBytes = wire - len(data)
+	pkt.Data = data
+	pkt.Hdr = *m
 	ep.node.Adapter.PushSend(pkt)
 }
 
 // sendCtrl queues and (best-effort) injects a control packet (ack, nack,
 // probe) to dst on the reply channel's FIFO path. Control packets carry no
 // sequence number and are never saved.
-func (ep *Endpoint) sendCtrl(p *sim.Proc, dst int, k kind, nackSeq uint64, ch int) {
+func (ep *Endpoint) sendCtrl(p *sim.Proc, dst int, k hw.Kind, nackSeq uint64, ch int) {
 	ad := ep.node.Adapter
 	if ad.SendSpace() < 1 {
 		return // congested: drop the control packet; keep-alive recovers
 	}
-	m := &msg{kind: k, ch: ch, seq: nackSeq}
+	m := msg{Kind: k, Ch: ch, Seq: nackSeq}
 	ep.node.ComputeUnscaled(p, costCtrlBuild)
 	ep.node.Flush(p, hw.PacketHeaderSize)
-	ep.stampAcks(dst, m)
-	ep.push(dst, m, nil, hw.PacketHeaderSize)
+	ep.stampAcks(dst, &m)
+	ep.push(dst, &m, nil, hw.PacketHeaderSize)
 	ep.maybeCommit(p, true)
 	switch k {
 	case kAck:

@@ -1,45 +1,28 @@
 package am
 
-import (
-	"spam/internal/hw"
-	"spam/internal/sim"
-)
+import "spam/internal/hw"
 
-// kind enumerates SP AM wire packet types.
-type kind uint8
+// msg is the decoded form of an SP AM packet header. Since the
+// zero-allocation data path rework it is hw.Header itself — carried by
+// value inside hw.Packet rather than boxed through an interface — so this
+// file only fixes the AM-side vocabulary: kind constants, channel indices,
+// and the wire-size helpers. The checksum, sequence-span, fault-class, and
+// header-corruption logic live on hw.Header (internal/hw/header.go), whose
+// fold and random-draw sequences are unchanged from the original am
+// implementation.
+type msg = hw.Header
 
+// AM wire packet kinds (aliases of the hw-level kind space).
 const (
-	kRequest kind = iota // short request, up to 4 words
-	kReply               // short reply, up to 4 words
-	kChunk               // bulk data packet (store data or get response data)
-	kGetReq              // control message asking the remote side to send data
-	kAck                 // explicit cumulative acknowledgement
-	kNack                // negative acknowledgement: go-back-N from Seq
-	kProbe               // keep-alive probe: elicits an explicit ack
-	kRaw                 // protocol-less packet (raw latency benchmark only)
+	kRequest = hw.KindRequest // short request, up to 4 words
+	kReply   = hw.KindReply   // short reply, up to 4 words
+	kChunk   = hw.KindChunk   // bulk data packet (store or get response data)
+	kGetReq  = hw.KindGetReq  // control message asking the remote side to send data
+	kAck     = hw.KindAck     // explicit cumulative acknowledgement
+	kNack    = hw.KindNack    // negative acknowledgement: go-back-N from Seq
+	kProbe   = hw.KindProbe   // keep-alive probe: elicits an explicit ack
+	kRaw     = hw.KindRaw     // protocol-less packet (raw latency benchmark only)
 )
-
-func (k kind) String() string {
-	switch k {
-	case kRequest:
-		return "request"
-	case kReply:
-		return "reply"
-	case kChunk:
-		return "chunk"
-	case kGetReq:
-		return "getreq"
-	case kAck:
-		return "ack"
-	case kNack:
-		return "nack"
-	case kProbe:
-		return "probe"
-	case kRaw:
-		return "raw"
-	}
-	return "?"
-}
 
 // Channel indices: requests and replies travel in separate sequence spaces
 // with separate windows so replies can never be blocked behind request
@@ -49,148 +32,11 @@ const (
 	chRep = 1
 )
 
-// bulkKind distinguishes why a chunk packet is in flight.
-type bulkKind uint8
-
+// Bulk kinds distinguish why a chunk packet is in flight.
 const (
-	bkStore   bulkKind = iota // am_store / am_store_async data
-	bkGetData                 // data flowing back for an am_get
+	bkStore   uint8 = iota // am_store / am_store_async data
+	bkGetData              // data flowing back for an am_get
 )
-
-// msg is the decoded form of an SP AM packet header. It rides in
-// hw.Packet.Msg; payload bytes ride in hw.Packet.Data. All fields fit the
-// 32-byte header budget of the real implementation.
-type msg struct {
-	kind kind
-	ch   int    // sequence channel (chReq or chRep)
-	seq  uint64 // first sequence unit occupied by this message
-
-	// Piggybacked cumulative acks: count of packets received in order on
-	// each channel of the reverse direction.
-	ackReq, ackRep uint64
-	hasAck         bool
-
-	// Short messages.
-	h     HandlerID
-	nargs int
-	args  [4]uint32
-
-	// Bulk data packets.
-	bk        bulkKind
-	op        uint64  // bulk operation id, sender-scoped
-	daddr     hw.Addr // destination of this packet's payload
-	total     int     // total bytes in the whole operation
-	chunkPkts int     // packets in this packet's chunk (= its seq span)
-	pktIdx    int     // index of this packet within its chunk
-	boff      int     // byte offset of this packet's payload within the op
-	final     bool    // set on packets of the op's last chunk
-	arg       uint32  // user argument delivered to the bulk handler
-
-	// Get requests.
-	raddr  hw.Addr // remote (data source) address
-	laddr  hw.Addr // local (data sink) address at the requester
-	nbytes int
-
-	// csum covers every header field above plus the payload bytes; it
-	// models the adapter's hardware CRC. Stamped at injection (after ack
-	// piggybacking), verified before any receive-side processing, and
-	// carried inside the 32-byte header budget.
-	csum uint32
-}
-
-// mix64 is the splitmix64 finalizer, used to fold header fields into the
-// wire checksum.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// wireChecksum hashes every header field and the payload. It deliberately
-// covers all fields CorruptHeader can damage; the computation is host-side
-// bookkeeping only (the real CRC is adapter hardware) and charges no
-// simulated time.
-func (m *msg) wireChecksum(data []byte) uint32 {
-	b2u := func(b bool) uint64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	h := uint64(0x243f6a8885a308d3)
-	fold := func(v uint64) { h = mix64(h ^ v) }
-	fold(uint64(m.kind)<<56 ^ uint64(m.ch)<<48 ^ m.seq)
-	fold(m.ackReq<<1 ^ b2u(m.hasAck))
-	fold(m.ackRep)
-	fold(uint64(uint32(m.h))<<32 ^ uint64(uint32(m.nargs)))
-	fold(uint64(m.args[0])<<32 ^ uint64(m.args[1]))
-	fold(uint64(m.args[2])<<32 ^ uint64(m.args[3]))
-	fold(uint64(m.bk)<<56 ^ m.op)
-	fold(uint64(uint32(m.daddr.Seg))<<32 ^ uint64(uint32(m.daddr.Off)))
-	fold(uint64(uint32(m.total))<<32 ^ uint64(uint32(m.chunkPkts)))
-	fold(uint64(uint32(m.pktIdx))<<32 ^ uint64(uint32(m.boff)))
-	fold(uint64(m.arg)<<1 ^ b2u(m.final))
-	fold(uint64(uint32(m.raddr.Seg))<<32 ^ uint64(uint32(m.raddr.Off)))
-	fold(uint64(uint32(m.laddr.Seg))<<32 ^ uint64(uint32(m.laddr.Off)))
-	fold(uint64(uint32(m.nbytes)))
-	for i := 0; i+8 <= len(data); i += 8 {
-		fold(uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
-			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
-			uint64(data[i+6])<<48 | uint64(data[i+7])<<56)
-	}
-	tail := len(data) &^ 7
-	var last uint64
-	for i := tail; i < len(data); i++ {
-		last = last<<8 | uint64(data[i])
-	}
-	fold(last ^ uint64(len(data))<<56)
-	return uint32(h) ^ uint32(h>>32)
-}
-
-// FaultClass implements hw.Classer: fault plans target packets by the wire
-// kind's name ("request", "reply", "chunk", "getreq", "ack", "nack",
-// "probe", "raw").
-func (m *msg) FaultClass() string { return m.kind.String() }
-
-// CorruptHeader implements hw.HeaderCorrupter: it returns a copy of the
-// message with one random bit flipped in one of the header fields the
-// checksum covers, modeling in-flight header damage. The receive path must
-// discard the copy on checksum mismatch before acting on any field.
-func (m *msg) CorruptHeader(r *sim.Rand) interface{} {
-	q := *m
-	switch r.Intn(8) {
-	case 0:
-		q.seq ^= 1 << uint(r.Intn(32))
-	case 1:
-		q.h ^= HandlerID(1 << uint(r.Intn(8)))
-	case 2:
-		q.args[r.Intn(4)] ^= 1 << uint(r.Intn(32))
-	case 3:
-		q.daddr.Off ^= 1 << uint(r.Intn(16))
-	case 4:
-		q.ackReq ^= 1 << uint(r.Intn(16))
-	case 5:
-		q.pktIdx ^= 1 << uint(r.Intn(4))
-	case 6:
-		q.nbytes ^= 1 << uint(r.Intn(12))
-	case 7:
-		q.csum ^= 1 << uint(r.Intn(32))
-	}
-	return &q
-}
-
-// span is the number of sequence units the message occupies: chunk packets
-// share their chunk's base seq and the chunk spans chunkPkts units.
-func (m *msg) span() uint64 {
-	if m.kind == kChunk {
-		return uint64(m.chunkPkts)
-	}
-	return 1
-}
-
-// headerBytes models the on-wire header size; everything fits the paper's
-// 32-byte header.
-func (m *msg) headerBytes() int { return hw.PacketHeaderSize }
 
 // shortWireBytes is the wire size of a short message with n argument words.
 func shortWireBytes(n int) int { return hw.PacketHeaderSize + 4*n }

@@ -89,9 +89,9 @@ func Degrade(factor float64) *Rule {
 	return r
 }
 
-// OnClass restricts the rule to packets whose protocol class (hw.Classer) is
-// one of the given names, e.g. "request", "reply", "chunk", "ack", "nack",
-// "probe".
+// OnClass restricts the rule to packets whose protocol class (the header
+// kind's Class) is one of the given names, e.g. "request", "reply", "chunk",
+// "ack", "nack", "probe".
 func (r *Rule) OnClass(classes ...string) *Rule { r.classes = classes; return r }
 
 // FromNode restricts the rule to packets injected by node src.

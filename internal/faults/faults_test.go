@@ -37,17 +37,13 @@ func TestRuleMatching(t *testing.T) {
 
 func TestRuleClassMatching(t *testing.T) {
 	r := Loss(1).OnClass("ack", "reply")
-	for class, want := range map[string]bool{"ack": true, "reply": true, "request": false} {
-		p := &hw.Packet{Msg: fakeClass(class)}
+	for kind, want := range map[hw.Kind]bool{hw.KindAck: true, hw.KindReply: true, hw.KindRequest: false} {
+		p := &hw.Packet{Hdr: hw.Header{Kind: kind}}
 		if got := r.matches(0, p); got != want {
-			t.Errorf("class %q: matches = %v, want %v", class, got, want)
+			t.Errorf("kind %v: matches = %v, want %v", kind, got, want)
 		}
 	}
 }
-
-type fakeClass string
-
-func (f fakeClass) FaultClass() string { return string(f) }
 
 // TestBurstSemantics drives synthetic packets through a compiled burst rule
 // and checks drops come in runs of the configured length (back-to-back

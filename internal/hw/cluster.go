@@ -64,12 +64,16 @@ func NewCluster(cfg Config) *Cluster {
 		cfg.Tracer = DefaultTracer
 	}
 	eng.SetTracer(cfg.Tracer)
+	// One packet pool per cluster: the engine runs one callback or process
+	// at a time, so the free lists need no locking; parallel sweeps build a
+	// cluster (and pool) per worker.
+	pool := NewPacketPool()
 	c := &Cluster{
 		Eng:    eng,
-		Switch: NewSwitch(eng, cfg.NumNodes, cfg.Switch),
+		Switch: NewSwitch(eng, cfg.NumNodes, cfg.Switch, pool),
 	}
 	for i := 0; i < cfg.NumNodes; i++ {
-		n := &Node{ID: i, Eng: eng, P: cfg.Node, Mem: &Memory{}}
+		n := &Node{ID: i, Eng: eng, P: cfg.Node, Mem: &Memory{}, Pool: pool}
 		n.Adapter = newTB2(n, c.Switch, cfg.Adapter, cfg.NumNodes)
 		c.Nodes = append(c.Nodes, n)
 	}

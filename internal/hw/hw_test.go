@@ -37,7 +37,7 @@ func TestSinglePacketDelivery(t *testing.T) {
 	c := twoNodes(t)
 	var arrived *Packet
 	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
-		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: "hello"})
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Hdr: Header{Arg: 42}})
 		n.Adapter.CommitLengths(p)
 	})
 	c.Spawn(1, "rx", func(p *sim.Proc, n *Node) {
@@ -47,7 +47,7 @@ func TestSinglePacketDelivery(t *testing.T) {
 		arrived = n.Adapter.RecvPop()
 	})
 	c.Run()
-	if arrived == nil || arrived.Msg != "hello" || arrived.Src != 0 {
+	if arrived == nil || arrived.Hdr.Arg != 42 || arrived.Src != 0 {
 		t.Fatalf("bad delivery: %+v", arrived)
 	}
 }
@@ -61,7 +61,7 @@ func TestDeliveryOrderPreserved(t *testing.T) {
 			for nd.Adapter.SendSpace() == 0 {
 				p.Advance(US(1))
 			}
-			nd.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: i})
+			nd.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Hdr: Header{Arg: uint32(i)}})
 			nd.Adapter.CommitLengths(p)
 		}
 	})
@@ -71,7 +71,7 @@ func TestDeliveryOrderPreserved(t *testing.T) {
 				p.Advance(US(1))
 				continue
 			}
-			got = append(got, nd.Adapter.RecvPop().Msg.(int))
+			got = append(got, int(nd.Adapter.RecvPop().Hdr.Arg))
 		}
 	})
 	c.Run()
@@ -186,7 +186,7 @@ func TestSwitchVerdictDuplicate(t *testing.T) {
 	c := twoNodes(t)
 	c.Switch.Fault = func(pkt *Packet) Verdict { return Duplicate() }
 	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
-		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: "dup"})
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
 		n.Adapter.CommitLengths(p)
 		p.Advance(US(1000))
 	})
@@ -217,7 +217,7 @@ func TestSwitchVerdictDelayReorders(t *testing.T) {
 			for nd.Adapter.SendSpace() == 0 {
 				p.Advance(US(1))
 			}
-			nd.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: i})
+			nd.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Hdr: Header{Arg: uint32(i)}})
 			nd.Adapter.CommitLengths(p)
 		}
 	})
@@ -228,7 +228,7 @@ func TestSwitchVerdictDelayReorders(t *testing.T) {
 				p.Advance(US(1))
 				continue
 			}
-			got = append(got, nd.Adapter.RecvPop().Msg.(int))
+			got = append(got, int(nd.Adapter.RecvPop().Hdr.Arg))
 		}
 	})
 	c.Run()
@@ -275,12 +275,13 @@ func TestSwitchVerdictCorruptPayload(t *testing.T) {
 }
 
 func TestSwitchVerdictCorruptNothingToFlip(t *testing.T) {
-	// A header-only packet whose Msg cannot be corrupted is simply unusable:
-	// the switch counts the corruption but delivers nothing.
+	// A header-only packet with no corruptible header kind (KindNone) and no
+	// payload is simply unusable: the switch counts the corruption but
+	// delivers nothing.
 	c := twoNodes(t)
 	c.Switch.Fault = func(pkt *Packet) Verdict { return Corrupt() }
 	c.Spawn(0, "tx", func(p *sim.Proc, n *Node) {
-		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32, Msg: "opaque"})
+		n.Adapter.PushSend(&Packet{Dst: 1, HdrBytes: 32})
 		n.Adapter.CommitLengths(p)
 		p.Advance(US(1000))
 	})

@@ -11,6 +11,10 @@ type Node struct {
 	P       NodeParams
 	Mem     *Memory
 	Adapter *TB2
+	// Pool is the cluster-wide packet free list; protocol layers Get
+	// packets here at injection and Put received packets back after
+	// processing them (see PacketPool for the ownership discipline).
+	Pool *PacketPool
 }
 
 // Compute charges d of computation, scaled by the node's CPU speed. This is

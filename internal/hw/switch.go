@@ -1,14 +1,18 @@
 package hw
 
 import (
+	"spam/internal/ring"
 	"spam/internal/sim"
 	"spam/internal/trace"
 )
 
 // Packet is one switch packet: it occupies a single send-FIFO entry and
-// travels the fabric as WireBytes() bytes. The communication layer's actual
-// message content rides in Msg (opaque to the hardware); Data carries bulk
-// payload bytes when the packet moves user data.
+// travels the fabric as WireBytes() bytes. The communication layer's
+// message header rides by value in Hdr (opaque to the hardware beyond its
+// Kind); Data carries bulk payload bytes when the packet moves user data.
+//
+// Packets are recycled through the cluster's PacketPool (see pool.go for
+// the ownership discipline); the zero value is a valid unpooled packet.
 type Packet struct {
 	Src, Dst int
 	// HdrBytes is the protocol header length inside the FIFO entry
@@ -17,12 +21,18 @@ type Packet struct {
 	// array, not the whole 256-byte entry.
 	HdrBytes int
 	Data     []byte
-	Msg      interface{}
+	Hdr      Header
 
 	// TraceID is the packet's trace identity, assigned at PushSend when a
 	// recorder is attached (0 = untraced). Duplicates and corrupt copies
 	// keep the original's id, so a trace shows their shared lineage.
 	TraceID int64
+
+	// dataPooled marks Data as a pool-owned scratch buffer (corrupt-copy
+	// payloads), returned to the pool when the packet is Put. inPool guards
+	// against double Put.
+	dataPooled bool
+	inPool     bool
 }
 
 // WireBytes reports how many bytes this packet occupies on the MicroChannel
@@ -37,6 +47,11 @@ func (p *Packet) WireBytes() int {
 	}
 	return n
 }
+
+// Class reports the packet's protocol class ("request", "chunk", "ack",
+// ...), or "" when its kind has none. Fault plans target packets by class
+// without the hardware layer knowing the protocol.
+func (p *Packet) Class() string { return p.Hdr.Kind.Class() }
 
 // FaultAction is what an injected fault does to one packet at the fabric.
 type FaultAction uint8
@@ -80,11 +95,11 @@ type Verdict struct {
 }
 
 // Convenience constructors for the five verdicts.
-func Deliver() Verdict             { return Verdict{} }
-func Drop() Verdict                { return Verdict{Action: ActDrop} }
-func Duplicate() Verdict           { return Verdict{Action: ActDuplicate} }
-func DelayBy(d sim.Time) Verdict   { return Verdict{Action: ActDelay, Delay: d} }
-func Corrupt() Verdict             { return Verdict{Action: ActCorrupt} }
+func Deliver() Verdict           { return Verdict{} }
+func Drop() Verdict              { return Verdict{Action: ActDrop} }
+func Duplicate() Verdict         { return Verdict{Action: ActDuplicate} }
+func DelayBy(d sim.Time) Verdict { return Verdict{Action: ActDelay, Delay: d} }
+func Corrupt() Verdict           { return Verdict{Action: ActCorrupt} }
 
 // FaultFunc lets tests and chaos harnesses inject faults: it is consulted
 // once per packet at the fabric and returns a verdict. The real switch is
@@ -103,27 +118,6 @@ func DropIf(pred func(*Packet) bool) FaultFunc {
 	}
 }
 
-// Classer lets fault injectors target packets by protocol class ("request",
-// "chunk", "ack", ...) without the hardware layer knowing the protocol.
-// Packet.Msg payloads may implement it.
-type Classer interface{ FaultClass() string }
-
-// Class reports the packet's protocol class, or "" if its payload does not
-// declare one.
-func (p *Packet) Class() string {
-	if c, ok := p.Msg.(Classer); ok {
-		return c.FaultClass()
-	}
-	return ""
-}
-
-// HeaderCorrupter is implemented by protocol messages (Packet.Msg) whose
-// header bits can be damaged in flight. CorruptHeader returns a damaged
-// copy; the original must not be modified (it may back a retransmission).
-type HeaderCorrupter interface {
-	CorruptHeader(r *sim.Rand) interface{}
-}
-
 // FaultStats counts applied fault verdicts by kind.
 type FaultStats struct {
 	Dropped    int64
@@ -137,6 +131,22 @@ func (f FaultStats) Total() int64 {
 	return f.Dropped + f.Duplicated + f.Delayed + f.Corrupted
 }
 
+// swPort is one node's attachment to the fabric: injection and ejection
+// servers plus the rings that carry in-flight packets between pipeline
+// stages. The rings replace the old per-packet closures — each stage's
+// completion callback is allocated once at construction and finds its
+// packet at the head of the stage's ring (valid because sim.Server
+// completions fire in submission order).
+type swPort struct {
+	in, out *sim.Server
+
+	injQ ring.Ring[*Packet] // serializing at the injection port
+	fabQ ring.Ring[*Packet] // traversing the fabric latency
+	ejQ  ring.Ring[*Packet] // serializing at the ejection port
+
+	injectCB, fabricCB, ejectCB func()
+}
+
 // Switch models the SP high-performance switch as an input-queued,
 // output-queued fabric: each node has an injection port and an ejection
 // port, both serialized at LinkBPS, separated by the fabric latency. The
@@ -146,28 +156,32 @@ func (f FaultStats) Total() int64 {
 type Switch struct {
 	eng   *sim.Engine
 	p     SwitchParams
-	in    []*sim.Server // per-node injection ports
-	out   []*sim.Server // per-node ejection ports
+	pool  *PacketPool
+	ports []swPort
 	deliv []func(*Packet)
 	Fault FaultFunc
 	Sent  int64
 	Lost  int64 // packets lost to drop verdicts (== Faults.Dropped)
 	// Faults counts applied fault verdicts; all zero when Fault is nil.
 	Faults FaultStats
-	// chaosRng picks corruption bit positions. It is created lazily on the
-	// first corrupt verdict so fault-free runs consume no random state.
+	// chaosRng picks corruption bit positions. Created at construction
+	// (fixed seed, drawn from only on corrupt verdicts) so the corruption
+	// path does no lazy setup.
 	chaosRng *sim.Rand
 }
 
-// NewSwitch builds a fabric for n nodes.
-func NewSwitch(e *sim.Engine, n int, p SwitchParams) *Switch {
-	s := &Switch{eng: e, p: p}
-	s.in = make([]*sim.Server, n)
-	s.out = make([]*sim.Server, n)
+// NewSwitch builds a fabric for n nodes, recycling packets through pool.
+func NewSwitch(e *sim.Engine, n int, p SwitchParams, pool *PacketPool) *Switch {
+	s := &Switch{eng: e, p: p, pool: pool, chaosRng: sim.NewRand(0x5eedc0de)}
+	s.ports = make([]swPort, n)
 	s.deliv = make([]func(*Packet), n)
 	for i := 0; i < n; i++ {
-		s.in[i] = sim.NewServer(e)
-		s.out[i] = sim.NewServer(e)
+		pt := &s.ports[i]
+		pt.in = sim.NewServer(e)
+		pt.out = sim.NewServer(e)
+		pt.injectCB = func() { s.injectDone(pt) }
+		pt.fabricCB = func() { s.eject(pt.fabQ.Pop()) }
+		pt.ejectCB = func() { s.ejectDone(pt) }
 	}
 	return s
 }
@@ -200,20 +214,25 @@ func (s *Switch) Send(pkt *Packet) {
 		case ActDrop:
 			s.Lost++
 			s.Faults.Dropped++
+			s.pool.Put(pkt)
 			return
 		case ActDuplicate:
 			s.Faults.Duplicated++
-			dup := *pkt
-			s.route(&dup)
+			dup := s.pool.Get()
+			*dup = *pkt
+			// The copy shares the original's Data (never pooled at this
+			// point: a packet gets at most one verdict, and only corrupt
+			// verdicts attach pooled payloads).
+			s.route(dup)
 		case ActDelay:
 			s.Faults.Delayed++
 			s.eng.After(v.Delay, func() { s.route(pkt) })
 			return
 		case ActCorrupt:
 			s.Faults.Corrupted++
-			pkt = s.corruptPacket(pkt)
-			if pkt == nil {
-				return // nothing corruptible: the damaged packet is unusable
+			if !s.corruptPacket(pkt) {
+				s.pool.Put(pkt) // nothing corruptible: the packet is unusable
+				return
 			}
 		}
 	}
@@ -222,52 +241,67 @@ func (s *Switch) Send(pkt *Packet) {
 
 // route moves the packet through injection port, fabric, and ejection port.
 func (s *Switch) route(pkt *Packet) {
-	t := s.xferTime(pkt.WireBytes())
-	rec := s.eng.Tracer()
-	eject := func() {
-		sta := s.out[pkt.Dst].IdleAt()
-		end := s.out[pkt.Dst].Submit(t, func() { s.deliv[pkt.Dst](pkt) })
-		if rec != nil && pkt.TraceID != 0 {
-			rec.Emit(int64(sta), trace.EvEjectSta, pkt.Dst, pkt.TraceID, 0, "")
-			rec.Emit(int64(end), trace.EvEjectEnd, pkt.Dst, pkt.TraceID, 0, "")
-		}
-	}
 	if pkt.Src == pkt.Dst {
-		eject()
+		s.eject(pkt)
 		return
 	}
-	sta := s.in[pkt.Src].IdleAt()
-	end := s.in[pkt.Src].Submit(t, func() {
-		s.eng.After(s.p.Latency, eject)
-	})
-	if rec != nil && pkt.TraceID != 0 {
+	pt := &s.ports[pkt.Src]
+	pt.injQ.Push(pkt)
+	sta := pt.in.IdleAt()
+	end := pt.in.Submit(s.xferTime(pkt.WireBytes()), pt.injectCB)
+	if rec := s.eng.Tracer(); rec != nil && pkt.TraceID != 0 {
 		rec.Emit(int64(sta), trace.EvInjectSta, pkt.Src, pkt.TraceID, 0, "")
 		rec.Emit(int64(end), trace.EvInjectEnd, pkt.Src, pkt.TraceID, 0, "")
 	}
 }
 
-// corruptPacket returns a damaged copy of pkt: a bit flipped in a copy of
-// the payload, or — when the payload is absent or the coin lands that way —
-// a damaged header copy if the protocol message supports it. The original
-// packet is never modified (its data may alias a retransmission source).
-// Returns nil when the packet has nothing corruptible to flip.
-func (s *Switch) corruptPacket(pkt *Packet) *Packet {
-	if s.chaosRng == nil {
-		s.chaosRng = sim.NewRand(0x5eedc0de)
+// injectDone fires when the injection port finishes serializing its oldest
+// packet: the packet enters the fabric for the (constant) switch latency.
+// Constant latency plus FIFO event ordering keeps fabQ in arrival order.
+func (s *Switch) injectDone(pt *swPort) {
+	pt.fabQ.Push(pt.injQ.Pop())
+	s.eng.After(s.p.Latency, pt.fabricCB)
+}
+
+// eject serializes the packet at its destination's ejection port.
+func (s *Switch) eject(pkt *Packet) {
+	pt := &s.ports[pkt.Dst]
+	pt.ejQ.Push(pkt)
+	sta := pt.out.IdleAt()
+	end := pt.out.Submit(s.xferTime(pkt.WireBytes()), pt.ejectCB)
+	if rec := s.eng.Tracer(); rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(sta), trace.EvEjectSta, pkt.Dst, pkt.TraceID, 0, "")
+		rec.Emit(int64(end), trace.EvEjectEnd, pkt.Dst, pkt.TraceID, 0, "")
 	}
-	q := *pkt
-	hc, hasHdr := pkt.Msg.(HeaderCorrupter)
+}
+
+func (s *Switch) ejectDone(pt *swPort) {
+	pkt := pt.ejQ.Pop()
+	s.deliv[pkt.Dst](pkt)
+}
+
+// corruptPacket damages pkt in flight: a bit flipped in a pooled copy of
+// the payload, or — when the payload is absent or the coin lands that way —
+// a bit flipped in the header copy the packet already carries (AM kinds
+// only; their checksum catches it). The original payload bytes are never
+// modified (Data may alias a retransmission source), so corrupt copies
+// never alias pooled or sender-owned buffers. Returns false when the packet
+// has nothing corruptible to flip.
+func (s *Switch) corruptPacket(pkt *Packet) bool {
+	hasHdr := pkt.Hdr.Kind.amKind()
 	if hasHdr && (len(pkt.Data) == 0 || s.chaosRng.Intn(4) == 0) {
-		q.Msg = hc.CorruptHeader(s.chaosRng)
-		return &q
+		pkt.Hdr.corruptIn(s.chaosRng)
+		return true
 	}
 	if len(pkt.Data) > 0 {
-		data := append([]byte(nil), pkt.Data...)
+		data := s.pool.GetData(len(pkt.Data))
+		copy(data, pkt.Data)
 		data[s.chaosRng.Intn(len(data))] ^= 1 << uint(s.chaosRng.Intn(8))
-		q.Data = data
-		return &q
+		pkt.Data = data
+		pkt.dataPooled = true
+		return true
 	}
-	return nil
+	return false
 }
 
 // Util returns the busy fractions of a node's injection and ejection ports
@@ -277,5 +311,5 @@ func (s *Switch) Util(node int) (in, out float64) {
 	if now == 0 {
 		return 0, 0
 	}
-	return float64(s.in[node].Busy) / now, float64(s.out[node].Busy) / now
+	return float64(s.ports[node].in.Busy) / now, float64(s.ports[node].out.Busy) / now
 }

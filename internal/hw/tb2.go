@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"spam/internal/ring"
 	"spam/internal/sim"
 	"spam/internal/trace"
 )
@@ -15,6 +16,11 @@ import (
 // charging its own CPU costs (building entries, cache flushes, the
 // length-array MicroChannel store); the adapter charges the i860 and DMA
 // pipeline times.
+//
+// Packets move between pipeline stages through rings whose completion
+// callbacks are allocated once at construction: each sim.Server fires
+// completions in submission order, so a stage's callback always finds its
+// packet at the head of the stage's ring.
 type TB2 struct {
 	node *Node
 	sw   *Switch
@@ -22,8 +28,14 @@ type TB2 struct {
 
 	// Send side. staged holds entries the host has written but not yet
 	// committed via the length array; sendUsed counts all occupied entries
-	// (staged + committed-but-not-yet-DMA'd).
-	staged   []*Packet
+	// (staged + committed-but-not-yet-DMA'd). Committed batches wait out
+	// the firmware pickup latency in pickupQ (batch sizes in batchQ), then
+	// flow through the i860 and outbound-DMA stages.
+	staged   ring.Ring[*Packet]
+	pickupQ  ring.Ring[*Packet]
+	batchQ   ring.Ring[int]
+	i860Q    ring.Ring[*Packet]
+	dmaOutQ  ring.Ring[*Packet]
 	sendUsed int
 	i860Send *sim.Server
 	dmaOut   *sim.Server
@@ -31,8 +43,12 @@ type TB2 struct {
 	// Receive side: the host-visible receive FIFO plus its feeding pipeline.
 	i860Recv *sim.Server
 	dmaIn    *sim.Server
-	recvQ    []*Packet
+	rxProcQ  ring.Ring[*Packet]
+	dmaInQ   ring.Ring[*Packet]
+	recvQ    ring.Ring[*Packet]
 	recvCap  int
+
+	pickupCB, i860CB, dmaOutCB, rxProcCB, dmaInCB func()
 
 	// DroppedOverflow counts packets lost to receive-FIFO overflow — the
 	// only loss mode of the (effectively lossless) SP switch, and the reason
@@ -53,6 +69,11 @@ func newTB2(n *Node, sw *Switch, p AdapterParams, activeNodes int) *TB2 {
 		dmaIn:    sim.NewServer(n.Eng),
 		recvCap:  RecvFIFOPerNode * activeNodes,
 	}
+	a.pickupCB = a.pickup
+	a.i860CB = a.i860Done
+	a.dmaOutCB = a.dmaOutDone
+	a.rxProcCB = a.rxProcDone
+	a.dmaInCB = a.dmaInDone
 	sw.Attach(n.ID, a.deliver)
 	return a
 }
@@ -72,7 +93,7 @@ func (a *TB2) PushSend(pkt *Packet) {
 	}
 	pkt.Src = a.node.ID
 	a.sendUsed++
-	a.staged = append(a.staged, pkt)
+	a.staged.Push(pkt)
 	if rec := a.node.Eng.Tracer(); rec != nil {
 		pkt.TraceID = rec.NewPacketID()
 		rec.Emit(int64(a.node.Eng.Now()), trace.EvStaged, a.node.ID,
@@ -86,7 +107,7 @@ func (a *TB2) PushSend(pkt *Packet) {
 // starts the adapter pipeline on them. It charges the calling process the
 // MicroChannel access cost.
 func (a *TB2) CommitLengths(p *sim.Proc) {
-	if len(a.staged) == 0 {
+	if a.staged.Len() == 0 {
 		return
 	}
 	p.Advance(a.p.MCAccess)
@@ -99,40 +120,56 @@ func (a *TB2) CommitLengths(p *sim.Proc) {
 func (a *TB2) CommitLengthsFree() { a.commit() }
 
 func (a *TB2) commit() {
-	batch := a.staged
-	a.staged = nil
+	n := a.staged.Len()
 	rec := a.node.Eng.Tracer()
-	if rec != nil {
-		now := int64(a.node.Eng.Now())
-		for _, pkt := range batch {
-			if pkt.TraceID != 0 {
-				rec.Emit(now, trace.EvCommitted, a.node.ID, pkt.TraceID, 0, "")
-			}
+	now := int64(a.node.Eng.Now())
+	for i := 0; i < n; i++ {
+		pkt := a.staged.Pop()
+		a.pickupQ.Push(pkt)
+		if rec != nil && pkt.TraceID != 0 {
+			rec.Emit(now, trace.EvCommitted, a.node.ID, pkt.TraceID, 0, "")
 		}
 	}
+	a.batchQ.Push(n)
 	// The pickup latency delays the whole batch equally (the firmware's
-	// length-array scan), so FIFO order is preserved.
-	a.node.Eng.After(a.p.PickupLatency, func() {
-		for _, pkt := range batch {
-			pkt := pkt
-			sta := a.i860Send.IdleAt()
-			end := a.i860Send.Submit(a.p.SendProc, func() {
-				dsta := a.dmaOut.IdleAt()
-				dend := a.dmaOut.Submit(a.mcTime(pkt.WireBytes()), func() {
-					a.sendUsed--
-					a.sw.Send(pkt)
-				})
-				if rec != nil && pkt.TraceID != 0 {
-					rec.Emit(int64(dsta), trace.EvDMAOutSta, a.node.ID, pkt.TraceID, 0, "")
-					rec.Emit(int64(dend), trace.EvDMAOutEnd, a.node.ID, pkt.TraceID, 0, "")
-				}
-			})
-			if rec != nil && pkt.TraceID != 0 {
-				rec.Emit(int64(sta), trace.EvI860SendSta, a.node.ID, pkt.TraceID, 0, "")
-				rec.Emit(int64(end), trace.EvI860SendEnd, a.node.ID, pkt.TraceID, 0, "")
-			}
+	// length-array scan), so FIFO order is preserved — and so is batch
+	// order: pickups are scheduled at the constant latency from strictly
+	// advancing commit times.
+	a.node.Eng.After(a.p.PickupLatency, a.pickupCB)
+}
+
+// pickup fires when the firmware notices a committed batch: every packet of
+// the batch enters the i860 send-processing stage.
+func (a *TB2) pickup() {
+	rec := a.node.Eng.Tracer()
+	n := a.batchQ.Pop()
+	for i := 0; i < n; i++ {
+		pkt := a.pickupQ.Pop()
+		a.i860Q.Push(pkt)
+		sta := a.i860Send.IdleAt()
+		end := a.i860Send.Submit(a.p.SendProc, a.i860CB)
+		if rec != nil && pkt.TraceID != 0 {
+			rec.Emit(int64(sta), trace.EvI860SendSta, a.node.ID, pkt.TraceID, 0, "")
+			rec.Emit(int64(end), trace.EvI860SendEnd, a.node.ID, pkt.TraceID, 0, "")
 		}
-	})
+	}
+}
+
+func (a *TB2) i860Done() {
+	pkt := a.i860Q.Pop()
+	a.dmaOutQ.Push(pkt)
+	dsta := a.dmaOut.IdleAt()
+	dend := a.dmaOut.Submit(a.mcTime(pkt.WireBytes()), a.dmaOutCB)
+	if rec := a.node.Eng.Tracer(); rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(dsta), trace.EvDMAOutSta, a.node.ID, pkt.TraceID, 0, "")
+		rec.Emit(int64(dend), trace.EvDMAOutEnd, a.node.ID, pkt.TraceID, 0, "")
+	}
+}
+
+func (a *TB2) dmaOutDone() {
+	pkt := a.dmaOutQ.Pop()
+	a.sendUsed--
+	a.sw.Send(pkt)
 }
 
 func (a *TB2) mcTime(bytes int) sim.Time {
@@ -142,57 +179,65 @@ func (a *TB2) mcTime(bytes int) sim.Time {
 // deliver is the ejection-port callback: the i860 accepts the packet and
 // DMAs it into the host receive FIFO, dropping it if the FIFO is full.
 func (a *TB2) deliver(pkt *Packet) {
-	rec := a.node.Eng.Tracer()
+	a.rxProcQ.Push(pkt)
 	sta := a.i860Recv.IdleAt()
-	end := a.i860Recv.Submit(a.p.RecvProc, func() {
-		dsta := a.dmaIn.IdleAt()
-		dend := a.dmaIn.Submit(a.mcTime(pkt.WireBytes()), func() {
-			if len(a.recvQ) >= a.recvCap {
-				a.DroppedOverflow++
-				if rec != nil && pkt.TraceID != 0 {
-					rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFODrop,
-						a.node.ID, pkt.TraceID, 0, "")
-				}
-				return
-			}
-			a.recvQ = append(a.recvQ, pkt)
-			a.Delivered++
-			if rec != nil && pkt.TraceID != 0 {
-				rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFOArrive,
-					a.node.ID, pkt.TraceID, int64(len(a.recvQ)), "")
-			}
-		})
-		if rec != nil && pkt.TraceID != 0 {
-			rec.Emit(int64(dsta), trace.EvDMAInSta, a.node.ID, pkt.TraceID, 0, "")
-			rec.Emit(int64(dend), trace.EvDMAInEnd, a.node.ID, pkt.TraceID, 0, "")
-		}
-	})
-	if rec != nil && pkt.TraceID != 0 {
+	end := a.i860Recv.Submit(a.p.RecvProc, a.rxProcCB)
+	if rec := a.node.Eng.Tracer(); rec != nil && pkt.TraceID != 0 {
 		rec.Emit(int64(sta), trace.EvI860RecvSta, a.node.ID, pkt.TraceID, 0, "")
 		rec.Emit(int64(end), trace.EvI860RecvEnd, a.node.ID, pkt.TraceID, 0, "")
 	}
 }
 
+func (a *TB2) rxProcDone() {
+	pkt := a.rxProcQ.Pop()
+	a.dmaInQ.Push(pkt)
+	dsta := a.dmaIn.IdleAt()
+	dend := a.dmaIn.Submit(a.mcTime(pkt.WireBytes()), a.dmaInCB)
+	if rec := a.node.Eng.Tracer(); rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(dsta), trace.EvDMAInSta, a.node.ID, pkt.TraceID, 0, "")
+		rec.Emit(int64(dend), trace.EvDMAInEnd, a.node.ID, pkt.TraceID, 0, "")
+	}
+}
+
+func (a *TB2) dmaInDone() {
+	pkt := a.dmaInQ.Pop()
+	rec := a.node.Eng.Tracer()
+	if a.recvQ.Len() >= a.recvCap {
+		a.DroppedOverflow++
+		if rec != nil && pkt.TraceID != 0 {
+			rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFODrop,
+				a.node.ID, pkt.TraceID, 0, "")
+		}
+		a.node.Pool.Put(pkt)
+		return
+	}
+	a.recvQ.Push(pkt)
+	a.Delivered++
+	if rec != nil && pkt.TraceID != 0 {
+		rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFOArrive,
+			a.node.ID, pkt.TraceID, int64(a.recvQ.Len()), "")
+	}
+}
+
 // RecvLen reports how many packets sit in the host receive FIFO.
-func (a *TB2) RecvLen() int { return len(a.recvQ) }
+func (a *TB2) RecvLen() int { return a.recvQ.Len() }
 
 // RecvPeek returns the FIFO head without popping, or nil when empty. The
 // polling layer charges its own per-poll and per-message costs.
 func (a *TB2) RecvPeek() *Packet {
-	if len(a.recvQ) == 0 {
+	if a.recvQ.Len() == 0 {
 		return nil
 	}
-	return a.recvQ[0]
+	return *a.recvQ.Peek()
 }
 
 // RecvPop removes the FIFO head. The paper pops lazily — after a fixed
 // number of polled messages — to amortize the MicroChannel access that tells
 // the adapter the entry is free; that batching (and its cost) is the
-// caller's policy.
+// caller's policy. The popped packet belongs to the caller, who returns it
+// to the node's pool once processed.
 func (a *TB2) RecvPop() *Packet {
-	pkt := a.recvQ[0]
-	copy(a.recvQ, a.recvQ[1:])
-	a.recvQ = a.recvQ[:len(a.recvQ)-1]
+	pkt := a.recvQ.Pop()
 	if rec := a.node.Eng.Tracer(); rec != nil && pkt.TraceID != 0 {
 		rec.Emit(int64(a.node.Eng.Now()), trace.EvPolled, a.node.ID, pkt.TraceID, 0, "")
 	}

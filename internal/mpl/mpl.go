@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"spam/internal/hw"
+	"spam/internal/ring"
 	"spam/internal/sim"
 )
 
@@ -44,12 +45,14 @@ const (
 	commitBatch = 8
 )
 
-type mKind uint8
-
+// MPL's packet kinds are hw-level header kinds; its header fields ride the
+// shared hw.Header (msgID in Op, tag in H, total in Total, offset in BOff,
+// last in Final). MPL headers carry no checksum — the protocol trusted the
+// lossless switch — so injected corruption goes undetected, as before.
 const (
-	mData      mKind = iota
-	mCredit          // message-level credit (window of 1 message per pair)
-	mPktCredit       // packet-level credit (keeps a burst inside the FIFO share)
+	mData      = hw.KindMPLData
+	mCredit    = hw.KindMPLCredit    // message-level credit (window of 1 message per pair)
+	mPktCredit = hw.KindMPLPktCredit // packet-level credit (keeps a burst inside the FIFO share)
 )
 
 // Packet-level flow control: a sender keeps at most pktWindow data packets
@@ -62,16 +65,6 @@ const (
 	pktWindow      = 32
 	pktCreditEvery = 16
 )
-
-// wire is MPL's packet header content.
-type wire struct {
-	kind   mKind
-	msgID  uint64
-	tag    int
-	total  int
-	offset int
-	last   bool
-}
 
 // System is MPL instantiated across a cluster.
 type System struct {
@@ -148,7 +141,7 @@ type postedRecv struct {
 // txState is per-destination sender state: queued messages awaiting the
 // one-outstanding-message credit.
 type txState struct {
-	q        []*txMsg
+	q        ring.Ring[*txMsg]
 	credit   int // messages we may inject (window of 1)
 	pktAhead int // data packets in flight toward this destination
 }
@@ -196,7 +189,7 @@ func (ep *Endpoint) SendH(p *sim.Proc, dst, tag int, data []byte) *SendHandle {
 	ep.node.ComputeUnscaled(p, ep.callCost(costSendOverhead))
 	ep.nextMsg++
 	m := &txMsg{msgID: ep.nextMsg, tag: tag, data: data}
-	ep.tx[dst].q = append(ep.tx[dst].q, m)
+	ep.tx[dst].q.Push(m)
 	ep.progress(p)
 	return &SendHandle{m: m}
 }
@@ -208,7 +201,7 @@ func (ep *Endpoint) BSend(p *sim.Proc, dst, tag int, data []byte) {
 	ep.node.ComputeUnscaled(p, ep.callCost(costSendOverhead))
 	ep.nextMsg++
 	m := &txMsg{msgID: ep.nextMsg, tag: tag, data: data}
-	ep.tx[dst].q = append(ep.tx[dst].q, m)
+	ep.tx[dst].q.Push(m)
 	for !m.injected {
 		ep.progress(p)
 		if !m.injected {
@@ -220,7 +213,7 @@ func (ep *Endpoint) BSend(p *sim.Proc, dst, tag int, data []byte) {
 // SendsDrained reports whether all queued sends have been injected.
 func (ep *Endpoint) SendsDrained() bool {
 	for i := range ep.tx {
-		if len(ep.tx[i].q) > 0 {
+		if ep.tx[i].q.Len() > 0 {
 			return false
 		}
 	}
@@ -345,8 +338,8 @@ func (ep *Endpoint) progress(p *sim.Proc) {
 	ad := ep.node.Adapter
 	for dst := range ep.tx {
 		ts := &ep.tx[dst]
-		for len(ts.q) > 0 && ts.credit > 0 {
-			m := ts.q[0]
+		for ts.q.Len() > 0 && ts.credit > 0 {
+			m := *ts.q.Peek()
 			for m.sent < len(m.data) || (len(m.data) == 0 && !m.injected) {
 				if ad.SendSpace() == 0 || ts.pktAhead >= pktWindow {
 					// Commit any staged entries before backing off: a
@@ -360,14 +353,14 @@ func (ep *Endpoint) progress(p *sim.Proc) {
 					end = len(m.data)
 				}
 				chunk := m.data[m.sent:end]
-				w := &wire{kind: mData, msgID: m.msgID, tag: m.tag,
-					total: len(m.data), offset: m.sent, last: end == len(m.data)}
+				w := hw.Header{Kind: mData, Op: m.msgID, H: m.tag,
+					Total: len(m.data), BOff: m.sent, Final: end == len(m.data)}
 				ep.node.ComputeUnscaled(p, ep.callCost(costPktBuild))
 				if len(chunk) > 0 {
 					ep.node.Memcpy(p, len(chunk))
 				}
 				ep.node.Flush(p, HeaderBytes+len(chunk))
-				ep.pushPkt(p, dst, w, chunk)
+				ep.pushPkt(p, dst, &w, chunk)
 				ts.pktAhead++
 				m.sent = end
 				if len(m.data) == 0 {
@@ -376,15 +369,20 @@ func (ep *Endpoint) progress(p *sim.Proc) {
 			}
 			m.injected = true
 			ts.credit--
-			ts.q = ts.q[1:]
+			ts.q.Pop()
 		}
 	}
 	ep.commit(p, true)
 }
 
-func (ep *Endpoint) pushPkt(p *sim.Proc, dst int, w *wire, data []byte) {
+func (ep *Endpoint) pushPkt(p *sim.Proc, dst int, w *hw.Header, data []byte) {
 	ep.BytesSent += int64(HeaderBytes + len(data))
-	ep.node.Adapter.PushSend(&hw.Packet{Dst: dst, HdrBytes: HeaderBytes, Data: data, Msg: w})
+	pkt := ep.node.Pool.Get()
+	pkt.Dst = dst
+	pkt.HdrBytes = HeaderBytes
+	pkt.Data = data
+	pkt.Hdr = *w
+	ep.node.Adapter.PushSend(pkt)
 	ep.pendCommit++
 	ep.commit(p, false)
 }
@@ -401,7 +399,8 @@ func (ep *Endpoint) commit(p *sim.Proc, force bool) {
 
 // pollOnce drains the receive FIFO once, reassembling messages, issuing
 // credits, and driving pending sends. If completed is non-nil it is invoked
-// for each message that finishes arriving.
+// for each message that finishes arriving. Every popped packet goes back to
+// the node's pool once its payload has been copied out.
 func (ep *Endpoint) pollOnce(p *sim.Proc, completed func(*rxMsg)) {
 	ep.node.ComputeUnscaled(p, ep.callCost(costPollEmpty))
 	ad := ep.node.Adapter
@@ -412,39 +411,39 @@ func (ep *Endpoint) pollOnce(p *sim.Proc, completed func(*rxMsg)) {
 		}
 		ad.RecvPop()
 		ep.node.ComputeUnscaled(p, ep.callCost(costPerPkt))
-		w := pkt.Msg.(*wire)
-		switch w.kind {
+		h := &pkt.Hdr
+		switch h.Kind {
 		case mCredit:
 			ep.tx[pkt.Src].credit++
-			ep.tx[pkt.Src].pktAhead -= w.total
+			ep.tx[pkt.Src].pktAhead -= h.Total
 		case mPktCredit:
-			ep.tx[pkt.Src].pktAhead -= w.total
+			ep.tx[pkt.Src].pktAhead -= h.Total
 		case mData:
 			ep.rxSince[pkt.Src]++
-			if ep.rxSince[pkt.Src] >= pktCreditEvery && !w.last {
+			if ep.rxSince[pkt.Src] >= pktCreditEvery && !h.Final {
 				ep.sendPktCredit(p, pkt.Src, ep.rxSince[pkt.Src])
 				ep.rxSince[pkt.Src] = 0
 			}
-			key := rxKey{src: pkt.Src, msgID: w.msgID}
+			key := rxKey{src: pkt.Src, msgID: h.Op}
 			m := ep.rx[key]
 			if m == nil {
-				m = &rxMsg{src: pkt.Src, tag: w.tag, msgID: w.msgID, total: w.total}
+				m = &rxMsg{src: pkt.Src, tag: h.H, msgID: h.Op, total: h.Total}
 				// A matching posted receive gets the data in place.
-				if pr := ep.matchPosted(pkt.Src, w.tag); pr != nil {
+				if pr := ep.matchPosted(pkt.Src, h.H); pr != nil {
 					m.direct = true
 					m.buf = pr.buf
 					pr.msg = m
 				} else {
-					m.buf = make([]byte, w.total)
+					m.buf = make([]byte, h.Total)
 				}
 				ep.rx[key] = m
 			}
-			if len(pkt.Data) > 0 && w.offset < len(m.buf) {
-				copy(m.buf[w.offset:], pkt.Data)
+			if len(pkt.Data) > 0 && h.BOff < len(m.buf) {
+				copy(m.buf[h.BOff:], pkt.Data)
 				ep.node.Memcpy(p, len(pkt.Data))
 				m.got += len(pkt.Data)
 			}
-			if w.last {
+			if h.Final {
 				m.done = true
 				delete(ep.rx, key)
 				ep.node.ComputeUnscaled(p, ep.callCost(costRecvOverhead))
@@ -465,6 +464,7 @@ func (ep *Endpoint) pollOnce(p *sim.Proc, completed func(*rxMsg)) {
 				}
 			}
 		}
+		ep.node.Pool.Put(pkt)
 	}
 	ep.progress(p)
 }
@@ -472,16 +472,18 @@ func (ep *Endpoint) pollOnce(p *sim.Proc, completed func(*rxMsg)) {
 func (ep *Endpoint) sendCredit(p *sim.Proc, dst int) {
 	residue := ep.rxSince[dst]
 	ep.rxSince[dst] = 0
-	ep.emitCtl(p, dst, &wire{kind: mCredit, total: residue})
+	w := hw.Header{Kind: mCredit, Total: residue}
+	ep.emitCtl(p, dst, &w)
 }
 
 func (ep *Endpoint) sendPktCredit(p *sim.Proc, dst, count int) {
-	ep.emitCtl(p, dst, &wire{kind: mPktCredit, total: count})
+	w := hw.Header{Kind: mPktCredit, Total: count}
+	ep.emitCtl(p, dst, &w)
 }
 
 // emitCtl pushes a flow-control packet immediately (control traffic
 // bypasses the message queue and its credits).
-func (ep *Endpoint) emitCtl(p *sim.Proc, dst int, w *wire) {
+func (ep *Endpoint) emitCtl(p *sim.Proc, dst int, w *hw.Header) {
 	ad := ep.node.Adapter
 	if ad.SendSpace() == 0 {
 		// Extremely rare; spin briefly for a slot.

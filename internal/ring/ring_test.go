@@ -1,0 +1,133 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrderAcrossGrowth(t *testing.T) {
+	var r Ring[int]
+	next := 0
+	for pushed := 0; pushed < 1000; {
+		for i := 0; i < 7 && pushed < 1000; i++ {
+			r.Push(pushed)
+			pushed++
+		}
+		for i := 0; i < 3 && r.Len() > 0; i++ {
+			if got := r.Pop(); got != next {
+				t.Fatalf("popped %d, want %d", got, next)
+			}
+			next++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != next {
+			t.Fatalf("popped %d, want %d", got, next)
+		}
+		next++
+	}
+	if next != 1000 {
+		t.Fatalf("drained %d elements, want 1000", next)
+	}
+}
+
+func TestTicketCounters(t *testing.T) {
+	var r Ring[string]
+	r.Push("a")
+	ta := r.Pushed()
+	r.Push("b")
+	tb := r.Pushed()
+	if r.Popped() >= ta {
+		t.Fatal("ticket a reported popped before any pop")
+	}
+	r.Pop()
+	if r.Popped() < ta {
+		t.Fatal("ticket a not popped after one pop")
+	}
+	if r.Popped() >= tb {
+		t.Fatal("ticket b reported popped early")
+	}
+	r.Pop()
+	if r.Popped() < tb {
+		t.Fatal("ticket b not popped after draining")
+	}
+}
+
+func TestPopZeroesSlot(t *testing.T) {
+	var r Ring[*int]
+	v := new(int)
+	r.Push(v)
+	r.Pop()
+	// The popped slot must not retain the pointer.
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatal("popped slot retains its pointer")
+		}
+	}
+}
+
+func TestPeekAtClear(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 5; i++ {
+		r.Push(i * 10)
+	}
+	if *r.Peek() != 0 {
+		t.Fatalf("Peek = %d, want 0", *r.Peek())
+	}
+	for i := 0; i < 5; i++ {
+		if *r.At(i) != i*10 {
+			t.Fatalf("At(%d) = %d, want %d", i, *r.At(i), i*10)
+		}
+	}
+	*r.At(2) = 99
+	r.Pop()
+	r.Pop()
+	if *r.Peek() != 99 {
+		t.Fatalf("mutation through At not visible: head = %d", *r.Peek())
+	}
+	r.Clear()
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", r.Len())
+	}
+	for i := range r.buf {
+		if r.buf[i] != 0 {
+			t.Fatal("Clear left a nonzero slot")
+		}
+	}
+}
+
+func TestEmptyOpsPanic(t *testing.T) {
+	for name, fn := range map[string]func(*Ring[int]){
+		"Pop":  func(r *Ring[int]) { r.Pop() },
+		"Peek": func(r *Ring[int]) { r.Peek() },
+		"At":   func(r *Ring[int]) { r.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty ring did not panic", name)
+				}
+			}()
+			var r Ring[int]
+			fn(&r)
+		}()
+	}
+}
+
+func TestSteadyStateNoAllocs(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 64; i++ {
+		r.Push(i)
+	}
+	for r.Len() > 0 {
+		r.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			r.Push(i)
+		}
+		for r.Len() > 0 {
+			r.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed ring allocated %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# bench-host.sh — run the host-time engine microbenchmarks
-# (internal/sim/engine_bench_test.go) and snapshot them as BENCH_host.json.
+# bench-host.sh — run the host-time microbenchmarks and snapshot them as
+# BENCH_host.json (schema spam-host-bench/v2).
 #
-# These measure the real cost of the simulator's event loop (events/sec,
-# ns/dispatch) — not simulated quantities. They are the numbers that bound
-# how much scenario coverage a wall-clock budget buys.
+# Two benchmark families feed the snapshot:
+#   - internal/sim:  engine event-loop cost (ns/dispatch, events/sec) — the
+#     numbers that bound how much scenario coverage a wall-clock budget buys.
+#   - internal/am:   packet data-path cost (short echo round trip, bulk
+#     store, empty poll) with -benchmem, so allocs/op is recorded; the
+#     steady-state paths must read 0 allocs/op with observability off.
+#
+# The snapshot also times one end-to-end `splitc-bench -paper` run (the
+# tier-1 Split-C table), the macro number the packet-path work optimises.
 #
 #   scripts/bench-host.sh                 # writes BENCH_host.json
 #   scripts/bench-host.sh out.json        # custom output path
 #   BENCHTIME=5s scripts/bench-host.sh    # longer, steadier runs
+#   SKIP_PAPER=1 scripts/bench-host.sh    # skip the end-to-end timing
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,15 +24,28 @@ mkdir -p "$(dirname "$out")"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test ./internal/sim/ -run '^$' -bench . -benchtime "${BENCHTIME:-1s}" -count 1 | tee "$tmp" >&2
+go test ./internal/sim/ -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" -count 1 | tee "$tmp" >&2
+go test ./internal/am/ -run '^$' -bench 'ShortEcho|BulkStore|PollEmpty' -benchmem -benchtime "${BENCHTIME:-1s}" -count 1 | tee -a "$tmp" >&2
+
+paper_wall=null
+if [[ "${SKIP_PAPER:-0}" != 1 ]]; then
+	bin=$(mktemp)
+	go build -o "$bin" ./cmd/splitc-bench
+	start=$(date +%s.%N)
+	"$bin" -paper >/dev/null
+	end=$(date +%s.%N)
+	rm -f "$bin"
+	paper_wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", e-s}')
+	echo "splitc-bench -paper: ${paper_wall}s wall" >&2
+fi
 
 {
 	echo '{'
-	echo '  "schema": "spam-host-bench/v1",'
+	echo '  "schema": "spam-host-bench/v2",'
 	awk '
-		/^goos:/   { printf("  \"goos\": \"%s\",\n", $2) }
-		/^goarch:/ { printf("  \"goarch\": \"%s\",\n", $2) }
-		/^cpu:/    { line=$0; sub(/^cpu: */, "", line); printf("  \"cpu\": \"%s\",\n", line) }
+		/^goos:/   { if (!goos)   { printf("  \"goos\": \"%s\",\n", $2); goos=1 } }
+		/^goarch:/ { if (!goarch) { printf("  \"goarch\": \"%s\",\n", $2); goarch=1 } }
+		/^cpu:/    { if (!cpu) { line=$0; sub(/^cpu: */, "", line); printf("  \"cpu\": \"%s\",\n", line); cpu=1 } }
 	' "$tmp"
 	echo '  "benchmarks": ['
 	awk '
@@ -34,13 +54,28 @@ go test ./internal/sim/ -run '^$' -bench . -benchtime "${BENCHTIME:-1s}" -count 
 			name = $1
 			sub(/^Benchmark/, "", name)
 			sub(/-[0-9]+$/, "", name)
+			ns = ""; bytes = ""; allocs = ""; ev = ""; mbs = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op")     ns = $i
+				if ($(i+1) == "B/op")      bytes = $i
+				if ($(i+1) == "allocs/op") allocs = $i
+				if ($(i+1) == "events/sec") ev = $i
+				if ($(i+1) == "MB/s")      mbs = $i
+			}
+			if (ns == "") next
 			if (!first) printf(",\n")
 			first = 0
-			printf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"events_per_sec\": %s}", name, $3, $5)
+			printf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+			if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+			if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
+			if (ev != "")     printf(", \"events_per_sec\": %s", ev)
+			if (mbs != "")    printf(", \"mb_per_sec\": %s", mbs)
+			printf("}")
 		}
 		END { printf("\n") }
 	' "$tmp"
-	echo '  ]'
+	echo '  ],'
+	echo "  \"end_to_end\": {\"name\": \"splitc-bench -paper\", \"wall_seconds\": $paper_wall}"
 	echo '}'
 } >"$out"
 echo "wrote $out" >&2

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench-regress.sh — guard against host-time performance regressions.
+#
+# Re-runs the microbenchmark suite via bench-host.sh (end-to-end paper
+# timing skipped: wall-clock on shared CI runners is too noisy to gate on)
+# and compares each benchmark's ns/op against the checked-in
+# BENCH_host.json. Fails if any benchmark regressed by more than FACTOR
+# (default 2.0x). New benchmarks absent from the baseline pass; baseline
+# entries that vanished from the current run fail, so a silently deleted
+# benchmark can't hide a regression.
+#
+#   scripts/bench-regress.sh                    # compare vs BENCH_host.json
+#   scripts/bench-regress.sh baseline.json      # custom baseline
+#   FACTOR=3 scripts/bench-regress.sh           # looser threshold
+#   BENCHTIME=2s scripts/bench-regress.sh       # steadier measurement
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_host.json}
+factor=${FACTOR:-2.0}
+[[ -f "$baseline" ]] || { echo "bench-regress: baseline $baseline not found" >&2; exit 1; }
+
+cur=$(mktemp)
+trap 'rm -f "$cur" "$cur.base" "$cur.now"' EXIT
+SKIP_PAPER=1 scripts/bench-host.sh "$cur"
+
+# Both files come from bench-host.sh, so each benchmark sits on one line:
+#   {"name": "X", "ns_per_op": N, ...}
+extract() {
+	sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": \([0-9.eE+-]*\).*/\1 \2/p' "$1"
+}
+
+extract "$baseline" >"$cur.base"
+extract "$cur" >"$cur.now"
+
+awk -v factor="$factor" '
+	NR == FNR { base[$1] = $2; next }
+	{ now[$1] = $2 }
+	END {
+		bad = 0
+		for (n in base) {
+			if (!(n in now)) {
+				printf("FAIL %-24s in baseline but missing from current run\n", n)
+				bad = 1
+				continue
+			}
+			ratio = now[n] / base[n]
+			status = "ok  "
+			if (ratio > factor) { status = "FAIL"; bad = 1 }
+			printf("%s %-24s %12.4g ns/op -> %12.4g ns/op  (%.2fx, limit %.2gx)\n",
+			       status, n, base[n], now[n], ratio, factor)
+		}
+		for (n in now) if (!(n in base))
+			printf("new  %-24s %12.4g ns/op (not in baseline)\n", n, now[n])
+		exit bad
+	}
+' "$cur.base" "$cur.now"
