@@ -17,6 +17,7 @@ import (
 
 	"spam/internal/bench"
 	"spam/internal/gam"
+	"spam/internal/hw"
 )
 
 func main() {
@@ -27,10 +28,16 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
 	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
 	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
+	nodepar := flag.Int("nodepar", 1, "intra-run PDES shards per cluster (1 = serial)")
+	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
 	flag.Parse()
 	bench.Par = *par
 
 	obs := bench.NewObserver(*traceOut, *metrics)
+	bench.SetNodePar(*nodepar)
+	if *shardstats {
+		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
+	}
 
 	if *table == 4 {
 		fmt.Println("# Table 4: machine characteristics (model inputs)")

@@ -140,6 +140,8 @@ type Endpoint struct {
 	rawQ          ring.Ring[*hw.Packet] // raw-mode receive queue (calibration only)
 	popCount      int                   // pops since start (lazy-pop batching)
 	pendingCommit int                   // staged FIFO entries not yet committed
+	drainArmed    bool                  // Drain has installed the arrival hook
+	drainBusy     bool                  // a post-drain service proc is running
 
 	Stats Stats
 	// Data is application-owned context (runtimes hang their state here).

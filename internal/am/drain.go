@@ -2,38 +2,65 @@ package am
 
 import "spam/internal/sim"
 
-// Quiescent reports whether the whole AM system has no protocol work in
-// flight: every channel's injected packets are acknowledged, no operation
-// is queued or awaiting retransmission, no bulk op is pending, and no
-// staged FIFO entries await commit. Because the simulation is a single
-// event loop, this global snapshot is exact and costs no simulated time.
-func (s *System) Quiescent() bool {
-	for _, ep := range s.EPs {
-		if len(ep.ops) != 0 || ep.pendingCommit != 0 {
-			return false
-		}
-		for _, ps := range ep.peers {
-			for ch := 0; ch < 2; ch++ {
-				tc := &ps.tx[ch]
-				if tc.inFlight() != 0 || tc.q.Len() != 0 || tc.retx.Len() != 0 || tc.waitAck.Len() != 0 {
-					return false
-				}
+// localQuiescent reports whether this endpoint has no protocol work of its
+// own in flight: every packet it injected is acknowledged, none of its
+// operations are queued or awaiting retransmission, no bulk op is pending,
+// and no staged FIFO entries await commit. Unlike a whole-system scan, this
+// reads only the endpoint's own state, so it is safe on a shard of a
+// parallel run while other shards are executing.
+func (ep *Endpoint) localQuiescent() bool {
+	if len(ep.ops) != 0 || ep.pendingCommit != 0 {
+		return false
+	}
+	for _, ps := range ep.peers {
+		for ch := 0; ch < 2; ch++ {
+			tc := &ps.tx[ch]
+			if tc.inFlight() != 0 || tc.q.Len() != 0 || tc.retx.Len() != 0 || tc.waitAck.Len() != 0 {
+				return false
 			}
 		}
 	}
 	return true
 }
 
-// Drain polls until the whole system is quiescent. Reliability in AM lives
-// in Poll: a node that stops polling also stops retransmitting, so a
-// process that finishes its own communication and exits can wedge a peer
-// that still needs one of its packets resent. Calling Drain on every node
-// after the program's last communication closes that gap — each node keeps
-// servicing the wire until no packet anywhere awaits delivery or
-// acknowledgement. Under fault injection this is what makes "the run
-// completes" a global property rather than a per-node one.
+// Drain retires this endpoint's outstanding protocol work and then keeps the
+// node responsive to late arrivals without occupying the calling process.
+//
+// Reliability in AM lives in Poll: a node that stops polling also stops
+// acknowledging, so a process that finishes its own communication and exits
+// can wedge a peer that still needs one of its packets delivered or resent.
+// The old Drain closed that gap by polling until the whole system was
+// quiescent — a global snapshot that is exact on a single event loop but a
+// data race on a sharded run, where one shard would read every other
+// shard's protocol state mid-window.
+//
+// This version is shard-local and event-driven. The calling process polls
+// until the endpoint itself is quiescent and its receive FIFO is empty, then
+// returns; before returning it arms an arrival hook on the adapter. Any
+// packet that lands after that (a retransmission, a request, a probe) spawns
+// a short-lived daemon process that polls the endpoint back to local
+// quiescence and exits. The protocol stays deadlock-free because every
+// packet in flight has a sender that is not locally quiescent — so it is
+// still polling, retransmitting on timeout — while a drained receiver needs
+// no stimulus other than the arrival itself.
 func (ep *Endpoint) Drain(p *sim.Proc) {
-	for !ep.sys.Quiescent() {
+	for !ep.localQuiescent() || ep.node.Adapter.RecvLen() > 0 {
 		ep.Poll(p)
 	}
+	if ep.drainArmed {
+		return
+	}
+	ep.drainArmed = true
+	ep.node.Adapter.SetArrivalHook(func() {
+		if ep.drainBusy {
+			return // the running service proc re-checks the FIFO before exiting
+		}
+		ep.drainBusy = true
+		ep.node.Eng.GoDaemon("am-drain-service", func(sp *sim.Proc) {
+			for !ep.localQuiescent() || ep.node.Adapter.RecvLen() > 0 {
+				ep.Poll(sp)
+			}
+			ep.drainBusy = false
+		})
+	})
 }

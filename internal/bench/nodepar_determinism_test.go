@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"spam/internal/am"
+	"spam/internal/faults"
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// Intra-run sharding (-nodepar) must be just as invisible as the sweep
+// runner: the same workload, rendered serially and under every shard count,
+// has to be byte-identical. These tests are the bench-level half of the
+// determinism contract (internal/hw/nodepar_test.go pins the hw layer).
+
+// withNodePar runs f with the given intra-run shard request installed and
+// restores the serial default.
+func withNodePar(n int, f func()) {
+	old := hw.DefaultNodePar
+	SetNodePar(n)
+	defer func() { hw.DefaultNodePar = old }()
+	f()
+}
+
+// requireSameAcrossShards renders serially, then under -nodepar 2/4/8, and
+// requires every rendering to be byte-identical.
+func requireSameAcrossShards(t *testing.T, name string, render func() []byte) {
+	t.Helper()
+	var serial []byte
+	withNodePar(1, func() { serial = render() })
+	for _, shards := range []int{2, 4, 8} {
+		var got []byte
+		withNodePar(shards, func() { got = render() })
+		if !bytes.Equal(serial, got) {
+			t.Errorf("%s: -nodepar %d output differs from serial\nserial:\n%s\nsharded:\n%s",
+				name, shards, serial, got)
+		}
+	}
+}
+
+func TestNodeParMatchesSerialAMEchoCurve(t *testing.T) {
+	requireSameAcrossShards(t, "AM echo/bandwidth curve", func() []byte {
+		var buf bytes.Buffer
+		for _, words := range []int{0, 2, 4} {
+			fmt.Fprintf(&buf, "echo %d: %.3f us\n", words, AMRoundTrip(words, 50))
+		}
+		curves := []Curve{
+			AMBandwidthCurve(SyncStore, SizesLog(64, 4096), 1<<16),
+			AMBandwidthCurve(AsyncStore, SizesLog(64, 4096), 1<<16),
+		}
+		PrintCurves(&buf, "nodepar-determinism", curves)
+		return buf.Bytes()
+	})
+}
+
+func TestNodeParMatchesSerialTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cfg := QuickTable5()
+	cfg.Keys = 1 << 10
+	machines := Table5Machines(cfg.NProcs)
+	requireSameAcrossShards(t, "splitc-bench table-5 path", func() []byte {
+		var buf bytes.Buffer
+		PrintTable5(&buf, RunTable5(cfg, machines), machines)
+		return buf.Bytes()
+	})
+}
+
+func TestNodeParMatchesSerialNAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	requireSameAcrossShards(t, "nas-bench path", func() []byte {
+		var buf bytes.Buffer
+		PrintNAS(&buf, RunNAS(QuickNAS()), 4)
+		return buf.Bytes()
+	})
+}
+
+// chaosEchoUnderPerSource is the chaos determinism workload: the async-store
+// transfer from amBandwidthUnder, but with the plan compiled per source
+// (ApplyPerSource) so the exact same fault streams exist in serial and
+// sharded runs.
+func chaosEchoUnderPerSource(plan *faults.Plan, n, total int) []byte {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	plan.ApplyPerSource(c)
+	finished := false
+	remoteSeg := c.Nodes[1].Mem.Add(make([]byte, n))
+	ops := total / n
+	var finish sim.Time
+	c.Spawn(0, "mover", func(p *sim.Proc, n0 *hw.Node) {
+		ep := sys.EPs[0]
+		src := make([]byte, n)
+		raddr := hw.Addr{Seg: remoteSeg}
+		completed := 0
+		for i := 0; i < ops; i++ {
+			ep.StoreAsync(p, 1, raddr, src, am.NoHandler, 0,
+				func(q *sim.Proc, e *am.Endpoint) { completed++ })
+		}
+		for completed < ops {
+			ep.Poll(p)
+		}
+		finish = p.Now()
+		finished = true
+		ep.Drain(p)
+	})
+	c.Spawn(1, "peer", func(p *sim.Proc, n1 *hw.Node) {
+		ep := sys.EPs[1]
+		for !finished {
+			ep.Poll(p)
+		}
+		ep.Drain(p)
+	})
+	c.Run()
+	return []byte(fmt.Sprintf("finish=%v stats=%+v losses=%+v final=%v\n",
+		finish, sys.Totals(), c.Losses(), c.Eng.Now()))
+}
+
+func TestNodeParMatchesSerialChaosPlan(t *testing.T) {
+	plan := faults.StandardPlans(0xd15ea5e)[0] // drop2pct
+	if plan.Name != "drop2pct" {
+		t.Fatalf("standard plan 0 is %q, want drop2pct", plan.Name)
+	}
+	requireSameAcrossShards(t, "chaos drop2pct path", func() []byte {
+		return chaosEchoUnderPerSource(plan, 1<<14, 1<<18)
+	})
+}

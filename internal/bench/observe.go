@@ -23,6 +23,8 @@ type Observer struct {
 
 // NewObserver installs the hooks. A zero tracePath / false metrics leaves the
 // corresponding hook untouched, so plain runs stay on the nil fast path.
+// Either hook forces intra-run sharding off (see SetNodePar): the collected
+// streams are only meaningful from a serial run.
 func NewObserver(tracePath string, metrics bool) *Observer {
 	o := &Observer{TracePath: tracePath, Metrics: metrics}
 	if tracePath != "" {
@@ -32,6 +34,9 @@ func NewObserver(tracePath string, metrics bool) *Observer {
 	if metrics {
 		o.reg = trace.NewRegistry()
 		am.DefaultMetrics = o.reg
+	}
+	if o.rec != nil || o.reg != nil {
+		hw.DefaultNodePar = 1
 	}
 	return o
 }

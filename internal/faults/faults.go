@@ -155,6 +155,47 @@ func NewPlan(name string, seed uint64, rules ...*Rule) *Plan {
 	return &Plan{Name: name, Seed: seed, Rules: rules}
 }
 
+// verdict runs the plan's rule list against one packet using the given
+// per-rule random streams and burst counters — the shared core of Compile
+// and CompilePerSource.
+func (p *Plan) verdict(now sim.Time, pkt *hw.Packet, rngs []*sim.Rand, burstLeft []int) hw.Verdict {
+	for i, r := range p.Rules {
+		if !r.matches(now, pkt) {
+			continue
+		}
+		fired := false
+		if r.burst > 1 {
+			if burstLeft[i] > 0 {
+				burstLeft[i]--
+				fired = true
+			} else if rngs[i].Float64() < r.rate {
+				burstLeft[i] = r.burst - 1
+				fired = true
+			}
+		} else if r.rate >= 1 || rngs[i].Float64() < r.rate {
+			fired = true
+		}
+		if !fired {
+			continue
+		}
+		switch r.act {
+		case hw.ActDrop:
+			return hw.Drop()
+		case hw.ActDuplicate:
+			return hw.Duplicate()
+		case hw.ActDelay:
+			d := r.delay
+			if r.perByteNS > 0 {
+				d += sim.Time(r.perByteNS * float64(pkt.WireBytes()))
+			}
+			return hw.DelayBy(d)
+		case hw.ActCorrupt:
+			return hw.Corrupt()
+		}
+	}
+	return hw.Deliver()
+}
+
 // Compile lowers the plan into a switch fault hook. Each rule gets its own
 // random stream forked deterministically from the plan seed, so adding a
 // rule does not perturb the firing pattern of the rules before it.
@@ -166,42 +207,7 @@ func (p *Plan) Compile(eng *sim.Engine) hw.FaultFunc {
 		rngs[i] = master.Fork()
 	}
 	return func(pkt *hw.Packet) hw.Verdict {
-		now := eng.Now()
-		for i, r := range p.Rules {
-			if !r.matches(now, pkt) {
-				continue
-			}
-			fired := false
-			if r.burst > 1 {
-				if burstLeft[i] > 0 {
-					burstLeft[i]--
-					fired = true
-				} else if rngs[i].Float64() < r.rate {
-					burstLeft[i] = r.burst - 1
-					fired = true
-				}
-			} else if r.rate >= 1 || rngs[i].Float64() < r.rate {
-				fired = true
-			}
-			if !fired {
-				continue
-			}
-			switch r.act {
-			case hw.ActDrop:
-				return hw.Drop()
-			case hw.ActDuplicate:
-				return hw.Duplicate()
-			case hw.ActDelay:
-				d := r.delay
-				if r.perByteNS > 0 {
-					d += sim.Time(r.perByteNS * float64(pkt.WireBytes()))
-				}
-				return hw.DelayBy(d)
-			case hw.ActCorrupt:
-				return hw.Corrupt()
-			}
-		}
-		return hw.Deliver()
+		return p.verdict(eng.Now(), pkt, rngs, burstLeft)
 	}
 }
 
@@ -213,6 +219,42 @@ func (p *Plan) Apply(c *hw.Cluster) {
 		return
 	}
 	c.Switch.Fault = p.Compile(c.Eng)
+}
+
+// CompilePerSource lowers the plan into one fault hook per injecting node.
+// Each (rule, source) pair owns a private random stream and burst counter,
+// forked from the plan seed in source-major order, so node i's verdicts are
+// a pure function of node i's own injection sequence. That is what lets
+// faults partition cleanly across PDES shards: a sharded run consults each
+// hook only from its source's shard and fires the exact same faults as a
+// serial run using the same per-source hooks. (The classic Compile draws one
+// stream per rule in global packet order — inherently serial.)
+func (p *Plan) CompilePerSource(numNodes int) []hw.SrcFaultFunc {
+	master := sim.NewRand(p.Seed)
+	fns := make([]hw.SrcFaultFunc, numNodes)
+	for src := 0; src < numNodes; src++ {
+		rngs := make([]*sim.Rand, len(p.Rules))
+		burstLeft := make([]int, len(p.Rules))
+		for i := range p.Rules {
+			rngs[i] = master.Fork()
+		}
+		fns[src] = func(now sim.Time, pkt *hw.Packet) hw.Verdict {
+			return p.verdict(now, pkt, rngs, burstLeft)
+		}
+	}
+	return fns
+}
+
+// ApplyPerSource installs per-source fault hooks on the cluster's switch —
+// the form required for sharded (-nodepar) runs, and identical in serial
+// runs so the two can be compared byte for byte. A nil plan clears the
+// hooks.
+func (p *Plan) ApplyPerSource(c *hw.Cluster) {
+	if p == nil {
+		c.Switch.FaultBySrc = nil
+		return
+	}
+	c.Switch.FaultBySrc = p.CompilePerSource(len(c.Nodes))
 }
 
 // StandardPlans returns the canonical chaos suite: one plan per fault kind,

@@ -13,12 +13,23 @@ import (
 // threading a recorder through every signature.
 var DefaultTracer *trace.Recorder
 
+// DefaultNodePar is the intra-run shard count applied to every cluster whose
+// Config does not name its own (the commands' -nodepar flag). 1 — the
+// default — runs each simulation serially on one engine; N > 1 partitions
+// the nodes across N shard engines advanced as a conservative parallel DES
+// with the switch latency as lookahead (see sim.Group). Tracing always
+// forces serial.
+var DefaultNodePar = 1
+
 // Cluster wires N nodes, their adapters, and a switch onto one simulation
-// engine. It is the root object every experiment starts from.
+// engine — or, in conservative-parallel mode, onto a group of per-shard
+// engines that only communicate through the switch fabric's mailbox edges.
+// It is the root object every experiment starts from.
 type Cluster struct {
-	Eng    *sim.Engine
+	Eng    *sim.Engine // shard 0's engine in sharded mode
 	Nodes  []*Node
 	Switch *Switch
+	grp    *sim.Group
 }
 
 // Config selects the hardware variant for a cluster.
@@ -33,6 +44,12 @@ type Config struct {
 	// cluster (see internal/trace). Nil falls back to DefaultTracer; both
 	// nil means tracing is off and costs nothing.
 	Tracer *trace.Recorder
+
+	// NodePar requests conservative-parallel execution with this many
+	// shards (0 falls back to DefaultNodePar, 1 is serial; clamped to
+	// NumNodes). A non-nil tracer forces serial: the recorder is a single
+	// shared stream.
+	NodePar int
 }
 
 // DefaultConfig returns an n-node thin-node SP, the machine of most of the
@@ -54,36 +71,81 @@ func WideConfig(n int) Config {
 	return c
 }
 
-// NewCluster builds the cluster described by cfg.
+// NewCluster builds the cluster described by cfg. With an effective NodePar
+// above 1, node i (its processes, TB2 pipelines, and switch ports) is bound
+// to shard engine i mod shards, each shard gets a private PacketPool (the
+// free lists stay single-threaded: Get/Put always run in the owning shard's
+// context), and the switch fabric becomes the only cross-shard channel.
 func NewCluster(cfg Config) *Cluster {
 	if cfg.NumNodes < 1 {
 		panic(fmt.Sprintf("hw: cluster needs at least 1 node, got %d", cfg.NumNodes))
 	}
-	eng := sim.NewEngine(cfg.Seed)
 	if cfg.Tracer == nil {
 		cfg.Tracer = DefaultTracer
 	}
-	eng.SetTracer(cfg.Tracer)
-	// One packet pool per cluster: the engine runs one callback or process
-	// at a time, so the free lists need no locking; parallel sweeps build a
-	// cluster (and pool) per worker.
-	pool := NewPacketPool()
+	shards := cfg.NodePar
+	if shards == 0 {
+		shards = DefaultNodePar
+	}
+	if shards > cfg.NumNodes {
+		shards = cfg.NumNodes
+	}
+	if shards < 1 || cfg.Tracer != nil || cfg.Switch.Latency <= 0 {
+		shards = 1
+	}
+	engs := make([]*sim.Engine, cfg.NumNodes)
+	pools := make([]*PacketPool, cfg.NumNodes)
+	var grp *sim.Group
+	if shards > 1 {
+		grp = sim.NewGroup(cfg.Seed, shards, cfg.Switch.Latency)
+		se := grp.Engines()
+		sp := make([]*PacketPool, shards)
+		for s := range sp {
+			sp[s] = NewPacketPool()
+		}
+		for i := range engs {
+			engs[i] = se[i%shards]
+			pools[i] = sp[i%shards]
+		}
+	} else {
+		eng := sim.NewEngine(cfg.Seed)
+		eng.SetTracer(cfg.Tracer)
+		// One packet pool per cluster: the engine runs one callback or
+		// process at a time, so the free lists need no locking; parallel
+		// sweeps build a cluster (and pool) per worker.
+		pool := NewPacketPool()
+		for i := range engs {
+			engs[i] = eng
+			pools[i] = pool
+		}
+	}
 	c := &Cluster{
-		Eng:    eng,
-		Switch: NewSwitch(eng, cfg.NumNodes, cfg.Switch, pool),
+		Eng:    engs[0],
+		Switch: NewSwitch(engs, cfg.Switch, pools, grp),
+		grp:    grp,
 	}
 	for i := 0; i < cfg.NumNodes; i++ {
-		n := &Node{ID: i, Eng: eng, P: cfg.Node, Mem: &Memory{}, Pool: pool}
+		n := &Node{ID: i, Eng: engs[i], P: cfg.Node, Mem: &Memory{}, Pool: pools[i]}
 		n.Adapter = newTB2(n, c.Switch, cfg.Adapter, cfg.NumNodes)
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c
 }
 
-// Spawn starts fn as node id's program (a workload process).
+// Shards reports the number of shard engines driving this cluster (1 when
+// serial).
+func (c *Cluster) Shards() int {
+	if c.grp == nil {
+		return 1
+	}
+	return len(c.grp.Engines())
+}
+
+// Spawn starts fn as node id's program (a workload process) on the node's
+// own shard engine.
 func (c *Cluster) Spawn(id int, name string, fn func(p *sim.Proc, n *Node)) {
 	n := c.Nodes[id]
-	c.Eng.Go(fmt.Sprintf("n%d:%s", id, name), func(p *sim.Proc) { fn(p, n) })
+	n.Eng.Go(fmt.Sprintf("n%d:%s", id, name), func(p *sim.Proc) { fn(p, n) })
 }
 
 // SpawnAll starts fn on every node, SPMD style.
@@ -93,8 +155,22 @@ func (c *Cluster) SpawnAll(name string, fn func(p *sim.Proc, n *Node)) {
 	}
 }
 
-// Run drives the simulation to completion, panicking on deadlock.
-func (c *Cluster) Run() { c.Eng.RunAll() }
+// Run drives the simulation to completion, panicking on deadlock. Sharded
+// clusters must run through this method (not Eng.RunAll, which would advance
+// only shard 0): it drives the window scheduler, folds the per-shard switch
+// counters, and leaves every shard clock — including Eng.Now() — at the
+// global finish time, exactly as a serial run would.
+func (c *Cluster) Run() {
+	if c.grp != nil {
+		if err := c.grp.Run(0); err != nil {
+			panic(err)
+		}
+		c.Switch.mergeShardStats()
+		recordShardStats(c.grp)
+		return
+	}
+	c.Eng.RunAll()
+}
 
 // LossReport breaks packet-loss accounting into its distinguishable
 // sources: faults injected at the fabric (by verdict kind) versus

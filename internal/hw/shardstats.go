@@ -1,0 +1,98 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"spam/internal/sim"
+)
+
+// ShardUtilization aggregates conservative-PDES scheduler statistics across
+// every sharded cluster run since the last Reset. Serial runs contribute
+// nothing. The commands print it (splitc-bench -shardstats) and CI uploads
+// it as the shard-utilization artifact.
+type ShardUtilization struct {
+	Runs        int64   // sharded cluster runs observed
+	Windows     int64   // barrier-synchronized windows
+	SoloWindows int64   // windows one shard ran alone (no barrier)
+	CrossEvents int64   // packets carried between shards through mailboxes
+	ShardEvents []int64 // events executed per shard index, summed over runs
+}
+
+var (
+	shardStatsMu sync.Mutex
+	shardStats   ShardUtilization
+)
+
+// recordShardStats folds one finished group run into the process-wide
+// accumulator (called from Cluster.Run; sweeps may run clusters from many
+// goroutines, hence the lock).
+func recordShardStats(g *sim.Group) {
+	st := g.Stats()
+	shardStatsMu.Lock()
+	defer shardStatsMu.Unlock()
+	shardStats.Runs++
+	shardStats.Windows += st.Windows
+	shardStats.SoloWindows += st.SoloWindows
+	shardStats.CrossEvents += st.CrossEvents
+	for len(shardStats.ShardEvents) < len(st.ShardEvents) {
+		shardStats.ShardEvents = append(shardStats.ShardEvents, 0)
+	}
+	for i, n := range st.ShardEvents {
+		shardStats.ShardEvents[i] += n
+	}
+}
+
+// ReadShardStats snapshots the accumulated shard-utilization statistics.
+func ReadShardStats() ShardUtilization {
+	shardStatsMu.Lock()
+	defer shardStatsMu.Unlock()
+	st := shardStats
+	st.ShardEvents = append([]int64(nil), shardStats.ShardEvents...)
+	return st
+}
+
+// ResetShardStats clears the accumulator (tests).
+func ResetShardStats() {
+	shardStatsMu.Lock()
+	defer shardStatsMu.Unlock()
+	shardStats = ShardUtilization{}
+}
+
+// Summary renders the accumulated statistics as a small human-readable
+// report.
+func (u ShardUtilization) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# shard utilization (conservative PDES)\n")
+	if u.Runs == 0 {
+		fmt.Fprintf(&b, "no sharded runs recorded\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "sharded runs: %d  windows: %d barrier + %d solo  cross-shard packets: %d\n",
+		u.Runs, u.Windows, u.SoloWindows, u.CrossEvents)
+	var tot, min, max int64
+	min = -1
+	for _, n := range u.ShardEvents {
+		tot += n
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	fmt.Fprintf(&b, "events per shard:")
+	for _, n := range u.ShardEvents {
+		fmt.Fprintf(&b, " %d", n)
+	}
+	fmt.Fprintf(&b, "  (total %d)\n", tot)
+	if max > 0 {
+		fmt.Fprintf(&b, "balance min/max: %.3f\n", float64(min)/float64(max))
+	}
+	if w := u.Windows + u.SoloWindows; w > 0 {
+		fmt.Fprintf(&b, "events per window: %.1f  solo fraction: %.3f\n",
+			float64(tot)/float64(w), float64(u.SoloWindows)/float64(w))
+	}
+	return b.String()
+}

@@ -56,6 +56,13 @@ type TB2 struct {
 	DroppedOverflow int64
 	// Delivered counts packets placed into the receive FIFO.
 	Delivered int64
+
+	// onArrive, when set, runs after each packet lands in the receive FIFO.
+	// The protocol layer uses it to wake a node that has drained and stopped
+	// polling: arrivals are the only stimulus such a node ever needs, since
+	// any peer with work in flight keeps polling (and retransmitting) on its
+	// own. The hook runs on the node's engine, inside the delivery event.
+	onArrive func()
 }
 
 func newTB2(n *Node, sw *Switch, p AdapterParams, activeNodes int) *TB2 {
@@ -217,7 +224,14 @@ func (a *TB2) dmaInDone() {
 		rec.Emit(int64(a.node.Eng.Now()), trace.EvFIFOArrive,
 			a.node.ID, pkt.TraceID, int64(a.recvQ.Len()), "")
 	}
+	if a.onArrive != nil {
+		a.onArrive()
+	}
 }
+
+// SetArrivalHook installs fn to run after every packet placed into the host
+// receive FIFO (overflow drops do not fire it). Pass nil to clear.
+func (a *TB2) SetArrivalHook(fn func()) { a.onArrive = fn }
 
 // RecvLen reports how many packets sit in the host receive FIFO.
 func (a *TB2) RecvLen() int { return a.recvQ.Len() }

@@ -77,6 +77,14 @@ func BenchmarkProcYield(b *testing.B) {
 // BenchmarkCondSignalPingPong bounces two processes off each other through
 // a pair of condition variables: each op is one Signal wakeup (same-time
 // scheduling) plus a dispatch.
+//
+// Signal's handoff fast path (see Cond.Signal) keeps each wakeup out of the
+// event queues entirely when the woken process is provably next. Before/
+// after on the same idle host: 247 -> 243 ns/op. The gain is small here
+// because each op also pays a goroutine switch (~230 ns, the channel-based
+// baton transfer), which the fast path cannot remove; its structural win is
+// that a signal no longer touches the run queue, so wakeup cost stays flat
+// no matter how deep the event heap is at signal time.
 func BenchmarkCondSignalPingPong(b *testing.B) {
 	e := NewEngine(1)
 	a, c := &Cond{Name: "a"}, &Cond{Name: "b"}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"spam/internal/ring"
+)
+
+// maxTime is the sentinel "no pending event" time; far beyond any simulated
+// horizon but safe to add a lookahead to without overflowing.
+const maxTime = Time(1) << 62
+
+// crossEntry is one in-flight cross-shard send sitting in an edge queue
+// between the sending window and its delivery on the destination shard.
+type crossEntry struct {
+	at      Time // delivery time on the destination shard
+	pushAt  Time // source-shard time of the Send (ordering tie-break)
+	causeAt Time // schedule time (pushAt) of the event that called Send
+	payload any
+}
+
+// Edge is a unidirectional cross-shard mailbox. Entries are pushed onto q by
+// code running on the source engine during its window and moved by the group
+// coordinator at the next barrier — in deterministic (at, pushAt, causeAt,
+// edge-index) order across edges — onto dq, the destination-side delivery
+// queue consumed by the edge's heap events. Each ring is single-producer,
+// single-consumer with a barrier separating the two roles. Delivery payloads
+// must stay per-edge: a shard-wide FIFO would mismatch events and payloads,
+// because an entry drained at a later barrier may deliver earlier than one
+// already pending (its cause only reached the sender in a later window).
+// Within one edge at is monotonic — the source serializes its sends — so
+// FIFO pops align with event order. Pointer payloads do not allocate when
+// stored in the interface, so warmed rings keep the cross path
+// allocation-free.
+//
+// An edge's contents and their order are a pure function of the traffic the
+// source generates, independent of how logical processes are packed into
+// shards, which is what keeps different shard counts byte-identical.
+type Edge struct {
+	src, dst *Engine
+	fn       func(any) // delivery callback, run on dst at entry.at
+	cb       func()    // heap-event thunk: pops dq, hands payload to fn
+	idx      int       // creation order: the deterministic tie-break at equal times
+	q        ring.Ring[crossEntry]
+	dq       ring.Ring[crossEntry]
+}
+
+// Send schedules payload for delivery on the edge's destination shard at
+// time at. The caller must be executing on the source shard, and at must lie
+// at least one group lookahead past the source's current time — the
+// conservative-PDES contract that makes the delivery safe to defer to the
+// next barrier.
+func (ed *Edge) Send(at Time, payload any) {
+	src := ed.src
+	ed.q.Push(crossEntry{at: at, pushAt: src.now, causeAt: src.curPushAt, payload: payload})
+	if src.soloing && at-1 < src.horizon {
+		// A solo window runs with an extended horizon (no other shard has
+		// work). The moment it emits a cross send, the destination must get
+		// a chance to wake for the arrival — and, for a same-shard edge, so
+		// must the sender itself — so the window is re-bounded to end just
+		// before the delivery time.
+		src.horizon = at - 1
+	}
+}
+
+// GroupStats summarizes one group's conservative-window scheduling.
+type GroupStats struct {
+	Windows     int64   // barrier-synchronized windows (>= 2 shards active)
+	SoloWindows int64   // windows one shard ran alone, without a barrier
+	CrossEvents int64   // payloads carried between shards through edge mailboxes
+	ShardEvents []int64 // events executed per shard
+}
+
+// Group coordinates a set of shard engines as one conservative parallel
+// discrete-event simulation. Each engine is a logical process with its own
+// heap, run queue, processes, and random stream; the only cross-shard
+// channel is an Edge, whose deliveries always lie at least `lookahead`
+// past the sender's clock. The group advances all shards in bounded windows
+// [tmin, tmin+lookahead): every event in the window is safe to execute
+// concurrently because anything a shard sends during it arrives at or after
+// the window's end. Edge mailboxes are drained between windows, on the
+// coordinator, in a deterministic merge order.
+type Group struct {
+	lookahead Time
+	engs      []*Engine
+	edges     []*Edge
+
+	active []*Engine // scratch: shards with work inside the current window
+	busy   []*Edge   // scratch: non-empty edges during a drain
+
+	startCh []chan Time   // per-shard window dispatch (nil until a run starts)
+	doneCh  chan struct{} // workers -> coordinator barrier
+
+	stats GroupStats
+}
+
+// NewGroup builds shards engines coordinated with the given lookahead (the
+// minimum cross-shard latency; for the SP model, the switch fabric latency).
+// Shard i's random stream is derived from seed and i.
+func NewGroup(seed uint64, shards int, lookahead Time) *Group {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: group needs at least 1 shard, got %d", shards))
+	}
+	if lookahead <= 0 {
+		panic("sim: group lookahead must be positive")
+	}
+	g := &Group{
+		lookahead: lookahead,
+		doneCh:    make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		e := NewEngine(seed + uint64(i)*0x9e3779b97f4a7c15)
+		e.shard = i
+		e.seq = crossSeqBase // local events sort after cross arrivals at ties
+		g.engs = append(g.engs, e)
+	}
+	return g
+}
+
+// Engines returns the shard engines in index order.
+func (g *Group) Engines() []*Engine { return g.engs }
+
+// Lookahead returns the group's window size.
+func (g *Group) Lookahead() Time { return g.lookahead }
+
+// Edge registers a cross-shard channel from src to dst delivering through
+// fn. Creation order is the deterministic tie-break between edges whose
+// heads carry equal timestamps at a drain, so callers must create edges in
+// an order that does not depend on the shard count (e.g. by (src node, dst
+// node)).
+func (g *Group) Edge(src, dst *Engine, fn func(any)) *Edge {
+	ed := &Edge{src: src, dst: dst, fn: fn, idx: len(g.edges)}
+	ed.cb = func() { ed.fn(ed.dq.Pop().payload) }
+	g.edges = append(g.edges, ed)
+	return ed
+}
+
+// drain merges every pending edge entry into its destination engine, in
+// ascending (at, pushAt, causeAt, edge-index) order across all edges. Each
+// delivery becomes one heap event on the destination carrying the sender's
+// logical push time in its key (pushCross): among same-time events on the
+// receiving shard it therefore sorts by when its cause ran — exactly where
+// a serial engine, which pushes chronologically, would have placed it.
+// Among cross arrivals that tie on (at, pushAt), a serial engine orders by
+// the causes' own execution order, whose leading component is the causes'
+// schedule time — causeAt, one more level of the chain, stamped by Send.
+// Only chains that are time-symmetric at both levels fall to edge creation
+// order. All components are functions of the traffic, not of the shard
+// packing, so every shard count produces the same order.
+func (g *Group) drain() {
+	busy := g.busy[:0]
+	for _, ed := range g.edges {
+		if ed.q.Len() > 0 {
+			busy = append(busy, ed)
+		}
+	}
+	g.busy = busy
+	nedges := uint64(len(g.edges))
+	for len(busy) > 0 {
+		best := 0
+		bh := busy[0].q.Peek()
+		for i := 1; i < len(busy); i++ {
+			h := busy[i].q.Peek()
+			if h.at < bh.at ||
+				(h.at == bh.at && (h.pushAt < bh.pushAt ||
+					(h.pushAt == bh.pushAt && (h.causeAt < bh.causeAt ||
+						(h.causeAt == bh.causeAt && busy[i].idx < busy[best].idx))))) {
+				best, bh = i, h
+			}
+		}
+		ed := busy[best]
+		ent := ed.q.Pop()
+		dst := ed.dst
+		if ent.at <= dst.now {
+			panic(fmt.Sprintf(
+				"sim: cross-shard delivery at %v not after destination time %v (send violated the lookahead contract)",
+				ent.at, dst.now))
+		}
+		ed.dq.Push(ent)
+		dst.pushCross(ent.at, ent.pushAt, ed.cb, uint64(ent.causeAt)*nedges+uint64(ed.idx))
+		g.stats.CrossEvents++
+		if ed.q.Len() == 0 {
+			busy = append(busy[:best], busy[best+1:]...)
+		}
+	}
+}
+
+// startWorkers launches one goroutine per shard, parked on its dispatch
+// channel; stopWorkers releases them. The coordinator always executes one
+// active shard inline, so a window with k active shards costs k-1 dispatch
+// round-trips and a solo window costs none.
+func (g *Group) startWorkers() {
+	g.startCh = make([]chan Time, len(g.engs))
+	for i := range g.engs {
+		g.startCh[i] = make(chan Time)
+		go func(e *Engine, ch chan Time) {
+			for bound := range ch {
+				e.runWindow(bound)
+				g.doneCh <- struct{}{}
+			}
+		}(g.engs[i], g.startCh[i])
+	}
+}
+
+func (g *Group) stopWorkers() {
+	for _, ch := range g.startCh {
+		close(ch)
+	}
+	g.startCh = nil
+}
+
+// Run drives every shard to completion (or to the optional horizon),
+// returning a deadlock error if workload processes remain blocked anywhere
+// once no events — local or in-flight on an edge — are left. On return all
+// shard clocks read the same time: the maximum across shards (or the
+// horizon), so Now() behaves exactly as after a serial run.
+func (g *Group) Run(horizon Time) error {
+	g.startWorkers()
+	defer g.stopWorkers()
+	for {
+		g.drain()
+		tmin, second := maxTime, maxTime
+		for _, e := range g.engs {
+			if t, ok := e.nextTime(); ok {
+				if t < tmin {
+					second = tmin
+					tmin = t
+				} else if t < second {
+					second = t
+				}
+			}
+		}
+		if tmin == maxTime {
+			break
+		}
+		if horizon > 0 && tmin > horizon {
+			for _, e := range g.engs {
+				e.now = horizon
+			}
+			return nil
+		}
+		wEnd := tmin + g.lookahead
+		if horizon > 0 && wEnd > horizon+1 {
+			wEnd = horizon + 1
+		}
+		active := g.active[:0]
+		for _, e := range g.engs {
+			if t, ok := e.nextTime(); ok && t < wEnd {
+				active = append(active, e)
+			}
+		}
+		g.active = active
+		if len(active) == 1 {
+			// Solo window: no other shard has work before wEnd, so the one
+			// active shard may safely run up to one lookahead past the
+			// second-earliest pending time — anything the others will ever
+			// send arrives at or after that — with Edge.Send re-bounding
+			// the horizon at the first cross send.
+			e := active[0]
+			bound := second + g.lookahead
+			if horizon > 0 && bound > horizon+1 {
+				bound = horizon + 1
+			}
+			e.soloing = true
+			e.runWindow(bound)
+			e.soloing = false
+			g.stats.SoloWindows++
+			continue
+		}
+		for _, e := range active[1:] {
+			g.startCh[e.shard] <- wEnd
+		}
+		active[0].runWindow(wEnd)
+		for range active[1:] {
+			<-g.doneCh
+		}
+		g.stats.Windows++
+	}
+	var tmax Time
+	live := 0
+	for _, e := range g.engs {
+		if e.now > tmax {
+			tmax = e.now
+		}
+		live += e.live
+	}
+	for _, e := range g.engs {
+		e.now = tmax
+	}
+	if live > 0 {
+		return g.deadlockError(tmax, live)
+	}
+	return nil
+}
+
+// RunAll runs with no horizon and panics on deadlock, mirroring
+// Engine.RunAll.
+func (g *Group) RunAll() {
+	if err := g.Run(0); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Group) deadlockError(at Time, live int) error {
+	var stuck []string
+	for _, e := range g.engs {
+		for _, p := range e.procs {
+			if !p.finished && !p.daemon && p.parkedAt != "" {
+				stuck = append(stuck, fmt.Sprintf("%s (waiting: %s)", p.name, p.parkedAt))
+			}
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock at t=%v: %d workload proc(s) blocked across %d shards: %v",
+		at, live, len(g.engs), stuck)
+}
+
+// Stats snapshots the group's scheduling statistics.
+func (g *Group) Stats() GroupStats {
+	st := g.stats
+	st.ShardEvents = make([]int64, len(g.engs))
+	for i, e := range g.engs {
+		st.ShardEvents[i] = e.EventsRun
+	}
+	return st
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// groupPair builds a 2-shard group with one edge each way delivering into
+// the given callbacks.
+func groupPair(aToB, bToA func(any)) (*Group, *Engine, *Engine, *Edge, *Edge) {
+	g := NewGroup(1, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	ab := g.Edge(a, b, aToB)
+	ba := g.Edge(b, a, bToA)
+	return g, a, b, ab, ba
+}
+
+func TestGroupCrossDeliveryTiming(t *testing.T) {
+	var gotAt Time
+	var gotPayload any
+	g, a, b, ab, _ := groupPair(nil, nil)
+	_ = b
+	ab.fn = func(p any) {
+		gotAt = ab.dst.Now()
+		gotPayload = p
+	}
+	a.At(1000, func() { ab.Send(a.Now()+500, "ping") })
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if gotPayload != "ping" || gotAt != 1500 {
+		t.Fatalf("delivery = %v at t=%v, want ping at 1500", gotPayload, gotAt)
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("shard clocks differ after run: %v vs %v", a.Now(), b.Now())
+	}
+}
+
+// TestGroupPingPongMatchesLatencyChain bounces a token across shards N times
+// and checks the exact finish time: each leg costs one lookahead.
+func TestGroupPingPongMatchesLatencyChain(t *testing.T) {
+	const rounds = 100
+	hops := 0
+	var g *Group
+	var ab, ba *Edge
+	fwd := func(any) {
+		hops++
+		if hops < rounds {
+			ba.Send(ba.src.Now()+500, hops)
+		}
+	}
+	bwd := func(any) {
+		hops++
+		if hops < rounds {
+			ab.Send(ab.src.Now()+500, hops)
+		}
+	}
+	g, a, _, ab, ba := groupPair(nil, nil)
+	ab.fn, ba.fn = fwd, bwd
+	a.At(0, func() { ab.Send(500, 0) })
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if hops != rounds {
+		t.Fatalf("hops = %d, want %d", hops, rounds)
+	}
+	if want := Time(rounds * 500); a.Now() != want {
+		t.Fatalf("finish at %v, want %v", a.Now(), want)
+	}
+}
+
+// TestGroupDrainTieBreak pushes two same-timestamp entries from different
+// source shards at one destination and checks the edge-creation order breaks
+// the tie.
+func TestGroupDrainTieBreak(t *testing.T) {
+	g := NewGroup(1, 3, 500)
+	a, b, c := g.Engines()[0], g.Engines()[1], g.Engines()[2]
+	var order []string
+	ac := g.Edge(a, c, func(p any) { order = append(order, p.(string)) })
+	bc := g.Edge(b, c, func(p any) { order = append(order, p.(string)) })
+	// Same push time, same delivery time, on both shards.
+	b.At(100, func() { bc.Send(600, "from-b") })
+	a.At(100, func() { ac.Send(600, "from-a") })
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "from-a" || order[1] != "from-b" {
+		t.Fatalf("tie broken as %v, want [from-a from-b] (edge creation order)", order)
+	}
+}
+
+func TestGroupProcsAndSoloWindows(t *testing.T) {
+	g := NewGroup(7, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	var sum Time
+	a.Go("worker-a", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Advance(3)
+		}
+		sum = p.Now()
+	})
+	_ = b // shard b stays empty: every window is solo
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3000 {
+		t.Fatalf("worker finished at %v, want 3000", sum)
+	}
+	st := g.Stats()
+	if st.Windows != 0 || st.SoloWindows == 0 {
+		t.Fatalf("stats = %+v, want only solo windows", st)
+	}
+	// With no cross traffic the lone busy shard should run to completion in
+	// one extended solo window, not one window per event.
+	if st.SoloWindows > 2 {
+		t.Fatalf("%d solo windows for an isolated shard, want 1", st.SoloWindows)
+	}
+}
+
+func TestGroupDeadlockReportsAllShards(t *testing.T) {
+	g := NewGroup(1, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	var ca, cb Cond
+	ca.Name, cb.Name = "never-a", "never-b"
+	a.Go("stuck-a", func(p *Proc) { ca.Wait(p) })
+	b.Go("stuck-b", func(p *Proc) { cb.Wait(p) })
+	err := g.Run(0)
+	if err == nil {
+		t.Fatal("deadlocked group returned nil error")
+	}
+	for _, want := range []string{"stuck-a", "stuck-b", "never-a", "never-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestGroupHorizonStopsAndSetsClocks(t *testing.T) {
+	g := NewGroup(1, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	ran := 0
+	a.At(1000, func() { ran++ })
+	b.At(9000, func() { ran++ })
+	if err := g.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("%d events ran before horizon, want 1", ran)
+	}
+	if a.Now() != 5000 || b.Now() != 5000 {
+		t.Fatalf("clocks = %v/%v, want horizon 5000", a.Now(), b.Now())
+	}
+}
+
+// TestGroupSoloCrossSendReBoundsWindow checks the solo fast path cannot run
+// past its own cross-shard sends: the receiver must observe each arrival at
+// its correct time even when the sender was the only busy shard.
+func TestGroupSoloCrossSendReBoundsWindow(t *testing.T) {
+	g := NewGroup(1, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	var arrivals []Time
+	ab := g.Edge(a, b, func(any) { arrivals = append(arrivals, b.Now()) })
+	a.Go("sender", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			ab.Send(p.Now()+500, i)
+			p.Advance(2000)
+		}
+	})
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 10 {
+		t.Fatalf("%d arrivals, want 10", len(arrivals))
+	}
+	for i, at := range arrivals {
+		if want := Time(i*2000 + 500); at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestSignalHandoffOrder pins the Signal fast path's ordering contract:
+// events pushed after a Signal still run after the woken process, exactly as
+// the queue-based path ordered them.
+func TestSignalHandoffOrder(t *testing.T) {
+	e := NewEngine(1)
+	var c Cond
+	c.Name = "order"
+	var order []string
+	e.Go("waiter", func(p *Proc) {
+		c.Wait(p)
+		order = append(order, "waiter")
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Yield() // let the waiter park
+		c.Signal()
+		e.At(e.Now(), func() { order = append(order, "callback") })
+		p.Yield()
+		order = append(order, "signaler")
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"waiter", "callback", "signaler"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -10,6 +10,12 @@ type Proc struct {
 	resume   chan struct{}
 	finished bool
 	parkedAt string // wait reason while parked on a Cond (diagnostics)
+
+	// wakeFn, allocated once at spawn, deposits this proc into the engine's
+	// wake slot when its scheduled wakeup event fires. Carrying the wakeup
+	// as a func() keeps the event struct at four fields, which the compiler
+	// can hold in registers (see the event comment in sim.go).
+	wakeFn func()
 }
 
 // Name returns the process name given at spawn time.
@@ -62,7 +68,12 @@ func (c *Cond) Wait(p *Proc) {
 
 // Signal wakes the longest-waiting process, if any. The wakeup is scheduled
 // at the current virtual time; it is safe to call from engine callbacks or
-// from other processes.
+// from other processes. When the woken process would be the very next event
+// anyway — run queue drained, no same-time heap events, no handoff already
+// pending — it skips the queues entirely and is parked in the engine's
+// handoff slot, which every scheduler loop consumes first. Any event pushed
+// after this Signal carries a larger seq and would run after the wakeup
+// regardless, so the fast path preserves the exact serial order.
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
@@ -70,7 +81,13 @@ func (c *Cond) Signal() {
 	p := c.waiters[0]
 	copy(c.waiters, c.waiters[1:])
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	p.eng.schedule(p, p.eng.now)
+	e := p.eng
+	if e.handoff == nil && e.runqHead == len(e.runq) &&
+		(len(e.events) == 0 || e.events[0].at > e.now) {
+		e.handoff = p
+		return
+	}
+	e.schedule(p, e.now)
 }
 
 // Broadcast wakes every waiting process in FIFO order.

@@ -10,7 +10,7 @@
 // simulation is fully deterministic and reproducible.
 //
 // Events live in a value-typed arena ordered by an inline 4-ary min-heap on
-// (at, seq); same-time wakeups (Advance(0), Cond.Signal) bypass the heap
+// (at, pushAt, seq); same-time wakeups (Advance(0), Cond.Signal) bypass the heap
 // through a FIFO run queue. Neither path boxes events or allocates in steady
 // state, which is what keeps host-time events/sec high (see
 // engine_bench_test.go and scripts/bench-host.sh).
@@ -41,27 +41,60 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a single scheduled occurrence. Exactly one of fn and proc is set:
-// fn events run inline in the engine goroutine (callback style, used by
-// hardware pipeline stages), proc events transfer control to a parked
-// process. Events are plain values — they live in the heap arena or the run
-// queue, never behind a pointer, so scheduling performs no allocation and no
-// interface boxing.
+// Callback events run inline in the engine goroutine (used by hardware
+// pipeline stages); process wakeups carry the proc's preallocated wake
+// closure, which deposits the proc in Engine.wake for the scheduler loop to
+// switch to. Events are plain values — they live in the heap arena or the
+// run queue, never behind a pointer, so scheduling performs no allocation
+// and no interface boxing.
+//
+// The struct is deliberately exactly four fields / 32 bytes. The Go
+// compiler only keeps struct values in registers up to this size; one more
+// word (e.g. a *Proc field next to fn) forces every copy through memory and
+// costs ~4x on BenchmarkProcAdvance / BenchmarkEngineCallbackEvents. That
+// is why process wakeups are folded into fn rather than carried as a fifth
+// field.
 type event struct {
-	at   Time
-	seq  uint64 // tie-break for determinism: FIFO among same-time events
-	fn   func()
-	proc *Proc
+	at     Time
+	pushAt Time   // logical schedule time: when the cause of this event ran
+	seq    uint64 // tie-break for determinism: FIFO among same-(at, pushAt) events
+	fn     func()
 }
 
-// before is the (at, seq) strict-weak order shared by the heap and the run
-// queue; it is what makes event execution order a pure function of the
-// schedule calls, independent of Go's scheduler.
+// before is the (at, pushAt, seq) strict-weak order shared by the heap and
+// the run queue; it is what makes event execution order a pure function of
+// the schedule calls, independent of Go's scheduler.
+//
+// On a serial engine pushAt is redundant: pushes happen in clock order, so
+// seq alone already sorts same-time events by when they were scheduled, and
+// (at, pushAt, seq) orders identically to (at, seq). It exists for sharded
+// runs (group.go), where a cross-shard arrival is physically pushed at a
+// window barrier — later than every local event of the window — but must
+// order among same-time local events by the time its sender injected it,
+// exactly as it would have in a serial run. Carrying the logical time in the
+// key makes the two modes' orders coincide.
 func before(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
+	if a.pushAt != b.pushAt {
+		return a.pushAt < b.pushAt
+	}
 	return a.seq < b.seq
 }
+
+// runqEvent is the slim run-queue element: a same-time event needs no
+// timestamps (its at and pushAt are both the current clock, which cannot
+// advance while the queue is non-empty) and no seq (the queue is FIFO), so
+// only the callback remains. Keeping the hot yield/signal path to one-word
+// appends is worth ~1.5x on BenchmarkProcYield.
+type runqEvent struct {
+	fn func()
+}
+
+// nop is the callback of a handoff event: the woken proc is already in
+// e.wake, so the event itself has nothing to do.
+func nop() {}
 
 // Engine owns the virtual clock and the event queue and drives all
 // processes.
@@ -77,10 +110,10 @@ type Engine struct {
 	seq     uint64
 	horizon Time // active Run's horizon (0 = none); read by the exec loop
 
-	// events is a 4-ary min-heap on (at, seq) holding only future events
-	// (at > now at push time). 4-ary beats binary here: same asymptotics,
-	// half the depth, and the four-way child scan stays in one cache line
-	// of 32-byte events.
+	// events is a 4-ary min-heap on (at, pushAt, seq) holding only future
+	// events (at > now at push time). 4-ary beats binary here: same
+	// asymptotics, half the depth, and the four-way child scan stays in one
+	// cache line of 32-byte events.
 	events []event
 
 	// runq holds same-time events (scheduled with at <= now) in FIFO order;
@@ -88,10 +121,24 @@ type Engine struct {
 	// the current now: the clock only advances when the run queue is empty.
 	// Heap events with at == now always precede run-queue entries — they
 	// were pushed before the clock reached now, so their seq is smaller.
-	runq     []event
+	runq     []runqEvent
 	runqHead int
 
+	// wake receives the process deposited by a wake closure (Proc.wakeFn)
+	// the instant its event fires; the scheduler loops read-and-clear it
+	// after each event to perform the control transfer. It is what lets the
+	// event struct carry only a callback (see the event comment).
+	wake *Proc
+
 	parked chan struct{} // last executor -> Run caller: "this run is over"
+
+	// handoff, when non-nil, is a process wakeup that bypassed the queues
+	// entirely: Cond.Signal parks it here when the woken process would be
+	// the very next event anyway (run queue drained, no same-time heap
+	// events). Every scheduler loop consumes it before consulting the
+	// queues, which shaves the queue round-trip off the signal->run path
+	// (see BenchmarkCondSignalPingPong).
+	handoff *Proc
 
 	procs   []*Proc
 	live    int // workload (non-daemon) procs that have not finished
@@ -100,6 +147,17 @@ type Engine struct {
 	rng *Rand
 
 	tracer *trace.Recorder
+
+	// curPushAt is the logical schedule time (pushAt) of the event currently
+	// executing — the second component of its ordering key. Edge.Send stamps
+	// it onto cross-shard entries as the cause's schedule time, one more
+	// level of the causal chain for the drain's tie-break (see group.go).
+	curPushAt Time
+
+	// Conservative-parallel fields, used only when the engine is one shard
+	// of a Group (see group.go); all zero on a serial engine.
+	shard   int  // index within the group
+	soloing bool // inside a solo window: a cross send re-bounds horizon
 
 	// EventsRun counts executed events (performance/sanity diagnostics).
 	EventsRun int64
@@ -129,30 +187,51 @@ func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
 func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
 
 // push routes one event: future times into the heap, current time onto the
-// run queue.
-func (e *Engine) push(t Time, fn func(), p *Proc) {
+// run queue. The logical schedule time is the current clock. Run-queue
+// entries do not consume a seq: FIFO position is their order, and nothing
+// ever compares a run-queue entry's seq against a heap event's.
+func (e *Engine) push(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	ev := event{at: t, seq: e.seq, fn: fn, proc: p}
 	if t == e.now {
-		e.runq = append(e.runq, ev)
+		e.runq = append(e.runq, runqEvent{fn: fn})
 		return
 	}
-	e.heapPush(ev)
+	e.seq++
+	e.heapPush(event{at: t, pushAt: e.now, seq: e.seq, fn: fn})
+}
+
+// crossSeqBase offsets a sharded engine's local seq counter (set by
+// NewGroup) so that cross-shard arrivals — whose seq encodes (cause
+// schedule time, edge index), always below the base — precede local events
+// among same-(at, pushAt) ties. Cross events must not use the local
+// counter: the barrier at which an arrival is physically pushed depends on
+// the window schedule, so a counter seq would make tie order a function of
+// the shard packing instead of the traffic.
+const crossSeqBase = uint64(1) << 62
+
+// pushCross schedules fn at t carrying an explicit logical schedule time —
+// the group drain's entry point for cross-shard arrivals, whose cause ran on
+// another shard at pushAt < t — and a pre-composed seq encoding (cause
+// schedule time, edge index), both shard-count-invariant. (at, pushAt, seq)
+// is unique: one edge's deliveries are serialized by its source, so they
+// never share a timestamp. t must be strictly in this engine's future.
+func (e *Engine) pushCross(t, pushAt Time, fn func(), seq uint64) {
+	e.heapPush(event{at: t, pushAt: pushAt, seq: seq, fn: fn})
 }
 
 // At schedules fn to run in the engine goroutine at virtual time t. If t is
 // in the past it runs at the current time (after already-queued same-time
 // events).
-func (e *Engine) At(t Time, fn func()) { e.push(t, fn, nil) }
+func (e *Engine) At(t Time, fn func()) { e.push(t, fn) }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
-func (e *Engine) After(d Time, fn func()) { e.push(e.now+d, fn, nil) }
+func (e *Engine) After(d Time, fn func()) { e.push(e.now+d, fn) }
 
-// schedule queues a wakeup for p at time t.
-func (e *Engine) schedule(p *Proc, t Time) { e.push(t, nil, p) }
+// schedule queues a wakeup for p at time t: its preallocated wake closure,
+// which deposits p into e.wake when the event fires.
+func (e *Engine) schedule(p *Proc, t Time) { e.push(t, p.wakeFn) }
 
 // heapPush sift-ups ev into the 4-ary heap, moving parents into the hole
 // rather than swapping.
@@ -216,15 +295,27 @@ func (e *Engine) heapPop() event {
 // run before any heap event scheduled later, but after heap events at now
 // (those carry smaller seqs — see the runq field comment).
 func (e *Engine) nextEvent() (event, bool) {
+	if q := e.handoff; q != nil {
+		// A Signal that bypassed the queues: it was provably the next event
+		// when signalled, and anything pushed since carries a larger seq.
+		// Its wakeup was logically pushed at this instant. Depositing q in
+		// e.wake directly (rather than routing through q.wakeFn) saves the
+		// indirect call on the signal fast path.
+		e.handoff = nil
+		e.curPushAt = e.now
+		e.wake = q
+		return event{at: e.now, pushAt: e.now, fn: nop}, true
+	}
 	if e.runqHead < len(e.runq) && (len(e.events) == 0 || e.events[0].at > e.now) {
-		ev := e.runq[e.runqHead]
-		e.runq[e.runqHead] = event{}
+		rq := e.runq[e.runqHead]
+		e.runq[e.runqHead] = runqEvent{}
 		e.runqHead++
 		if e.runqHead == len(e.runq) {
 			e.runq = e.runq[:0]
 			e.runqHead = 0
 		}
-		return ev, true
+		e.curPushAt = e.now
+		return event{at: e.now, pushAt: e.now, fn: rq.fn}, true
 	}
 	if len(e.events) == 0 {
 		return event{}, false
@@ -234,6 +325,7 @@ func (e *Engine) nextEvent() (event, bool) {
 	}
 	ev := e.heapPop()
 	e.now = ev.at
+	e.curPushAt = ev.pushAt
 	return ev, true
 }
 
@@ -242,7 +334,8 @@ func (e *Engine) nextEvent() (event, bool) {
 // one of three things happens: self's own wakeup fires (return, keep
 // running — no goroutine switch), control passes to another process (one
 // direct switch; block until re-dispatched), or the run is over (hand the
-// baton back to the Run caller and block).
+// baton back to the Run caller and block). A pending handoff (a Signal that
+// bypassed the queues) is consumed first, inside nextEvent.
 func (e *Engine) exec(self *Proc) {
 	for {
 		ev, ok := e.nextEvent()
@@ -256,11 +349,12 @@ func (e *Engine) exec(self *Proc) {
 			return
 		}
 		e.EventsRun++
-		if ev.fn != nil {
-			ev.fn()
+		ev.fn()
+		q := e.wake
+		if q == nil {
 			continue
 		}
-		q := ev.proc
+		e.wake = nil
 		if q.finished {
 			continue
 		}
@@ -289,11 +383,12 @@ func (e *Engine) Run(horizon Time) error {
 			break
 		}
 		e.EventsRun++
-		if ev.fn != nil {
-			ev.fn()
+		ev.fn()
+		q := e.wake
+		if q == nil {
 			continue
 		}
-		q := ev.proc
+		e.wake = nil
 		if q.finished {
 			continue
 		}
@@ -312,6 +407,49 @@ func (e *Engine) Run(horizon Time) error {
 		return e.deadlockError()
 	}
 	return nil
+}
+
+// runWindow executes every event strictly before bound and returns. It is
+// the per-shard body of one conservative window (see Group): unlike Run it
+// performs no deadlock check — a shard may legitimately idle mid-run waiting
+// for cross-shard arrivals — and leaves now at the last executed event. A
+// solo window may lower e.horizon mid-flight (Edge.Send), which the event
+// loop observes on the next pop.
+func (e *Engine) runWindow(bound Time) {
+	e.horizon = bound - 1
+	for {
+		ev, ok := e.nextEvent()
+		if !ok {
+			return
+		}
+		e.EventsRun++
+		ev.fn()
+		q := e.wake
+		if q == nil {
+			continue
+		}
+		e.wake = nil
+		if q.finished {
+			continue
+		}
+		e.running = q
+		q.resume <- struct{}{}
+		// The baton comes back only when no window events remain.
+		<-e.parked
+		return
+	}
+}
+
+// nextTime reports the time of the engine's earliest pending event (the
+// group scheduler's window-placement input).
+func (e *Engine) nextTime() (Time, bool) {
+	if e.handoff != nil || e.runqHead < len(e.runq) {
+		return e.now, true
+	}
+	if len(e.events) > 0 {
+		return e.events[0].at, true
+	}
+	return 0, false
 }
 
 // RunAll runs with no horizon and panics on deadlock; it is the common form
@@ -354,6 +492,7 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		daemon: daemon,
 		resume: make(chan struct{}),
 	}
+	p.wakeFn = func() { e.wake = p }
 	e.procs = append(e.procs, p)
 	if !daemon {
 		e.live++

@@ -12,10 +12,16 @@
 # The snapshot also times one end-to-end `splitc-bench -paper` run (the
 # tier-1 Split-C table), the macro number the packet-path work optimises.
 #
+# Every run also appends a dated one-line copy of the snapshot (plus the
+# git SHA it was measured at) to results/bench-history.jsonl, so perf over
+# time can be plotted straight from the log. SKIP_HISTORY=1 suppresses the
+# append (bench-regress.sh sets it: comparison runs are not measurements).
+#
 #   scripts/bench-host.sh                 # writes BENCH_host.json
 #   scripts/bench-host.sh out.json        # custom output path
 #   BENCHTIME=5s scripts/bench-host.sh    # longer, steadier runs
 #   SKIP_PAPER=1 scripts/bench-host.sh    # skip the end-to-end timing
+#   SKIP_HISTORY=1 scripts/bench-host.sh  # don't touch bench-history.jsonl
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,3 +85,16 @@ fi
 	echo '}'
 } >"$out"
 echo "wrote $out" >&2
+
+if [[ "${SKIP_HISTORY:-0}" != 1 ]]; then
+	hist=results/bench-history.jsonl
+	mkdir -p "$(dirname "$hist")"
+	sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+	stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+	# The benchmark rows in $out each sit on one line; join them into a
+	# one-line array for the append-only history log.
+	rows=$(sed -n '/"benchmarks": \[/,/^  \],$/p' "$out" | sed '1d;$d;s/^ *//' | tr '\n' ' ' | sed 's/ $//')
+	printf '{"schema": "spam-host-bench/v2", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
+		"$stamp" "$sha" "$rows" "$paper_wall" >>"$hist"
+	echo "appended history row to $hist" >&2
+fi

@@ -7,7 +7,9 @@
 # BENCH_host.json. Fails if any benchmark regressed by more than FACTOR
 # (default 2.0x). New benchmarks absent from the baseline pass; baseline
 # entries that vanished from the current run fail, so a silently deleted
-# benchmark can't hide a regression.
+# benchmark can't hide a regression. Benchmarks that record allocs/op are
+# additionally gated exactly: any rise above the checked-in snapshot fails
+# (the zero-alloc data path must not quietly start allocating).
 #
 #   scripts/bench-regress.sh                    # compare vs BENCH_host.json
 #   scripts/bench-regress.sh baseline.json      # custom baseline
@@ -21,17 +23,22 @@ factor=${FACTOR:-2.0}
 [[ -f "$baseline" ]] || { echo "bench-regress: baseline $baseline not found" >&2; exit 1; }
 
 cur=$(mktemp)
-trap 'rm -f "$cur" "$cur.base" "$cur.now"' EXIT
-SKIP_PAPER=1 scripts/bench-host.sh "$cur"
+trap 'rm -f "$cur" "$cur.base" "$cur.now" "$cur.abase" "$cur.anow"' EXIT
+SKIP_PAPER=1 SKIP_HISTORY=1 scripts/bench-host.sh "$cur"
 
 # Both files come from bench-host.sh, so each benchmark sits on one line:
-#   {"name": "X", "ns_per_op": N, ...}
+#   {"name": "X", "ns_per_op": N[, "allocs_per_op": A], ...}
 extract() {
 	sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": \([0-9.eE+-]*\).*/\1 \2/p' "$1"
+}
+extract_allocs() {
+	sed -n 's/.*"name": "\([^"]*\)".*"allocs_per_op": \([0-9]*\).*/\1 \2/p' "$1"
 }
 
 extract "$baseline" >"$cur.base"
 extract "$cur" >"$cur.now"
+extract_allocs "$baseline" >"$cur.abase"
+extract_allocs "$cur" >"$cur.anow"
 
 awk -v factor="$factor" '
 	NR == FNR { base[$1] = $2; next }
@@ -55,3 +62,20 @@ awk -v factor="$factor" '
 		exit bad
 	}
 ' "$cur.base" "$cur.now"
+
+# Alloc gate: exact, no slack factor. Allocation counts are deterministic
+# per benchmark, so any rise above the snapshot is a real new allocation.
+awk '
+	NR == FNR { base[$1] = $2; next }
+	{ now[$1] = $2 }
+	END {
+		bad = 0
+		for (n in base) {
+			if (!(n in now)) continue # ns/op pass already failed on this
+			status = "ok  "
+			if (now[n] + 0 > base[n] + 0) { status = "FAIL"; bad = 1 }
+			printf("%s %-24s %4d allocs/op -> %4d allocs/op\n", status, n, base[n], now[n])
+		}
+		exit bad
+	}
+' "$cur.abase" "$cur.anow"
