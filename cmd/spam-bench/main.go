@@ -8,7 +8,8 @@
 //	spam-bench -table 2      # am_request_N / am_reply_N costs
 //	spam-bench -table 3      # round trips + r_inf + n_1/2 summary
 //	spam-bench -figure 3     # the six bandwidth curves
-//	spam-bench -chaos        # bandwidth degradation vs packet-loss rate
+//	spam-bench -chaos loss   # bandwidth degradation vs packet-loss rate
+//	spam-bench -chaos kill   # fail-stop detection latency + goodput
 package main
 
 import (
@@ -24,7 +25,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate figure 3")
 	total := flag.Int("total", 1<<20, "bytes moved per bandwidth measurement")
 	stats := flag.Bool("stats", false, "run a mixed workload and dump protocol statistics")
-	chaos := flag.Bool("chaos", false, "sweep packet-loss rates and print bandwidth degradation")
+	chaos := flag.String("chaos", "", "chaos sweep: 'loss' (bandwidth vs packet-loss rate) or 'kill' (fail-stop detection latency)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
 	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
@@ -39,8 +40,13 @@ func main() {
 	switch {
 	case *stats:
 		bench.ProtocolStats(os.Stdout)
-	case *chaos:
+	case *chaos == "loss":
 		bench.ChaosTable(os.Stdout, *total)
+	case *chaos == "kill":
+		bench.KillTable(os.Stdout)
+	case *chaos != "":
+		fmt.Fprintf(os.Stderr, "spam-bench: unknown -chaos mode %q (want loss or kill)\n", *chaos)
+		os.Exit(2)
 	case *table == 2:
 		if *jsonOut {
 			check(bench.WriteJSONReport(os.Stdout, bench.Table2Report()))

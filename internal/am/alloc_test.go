@@ -92,6 +92,7 @@ func TestShortEchoZeroAlloc(t *testing.T) {
 	c, sys, reqH, replies := echoPair(hw.DefaultConfig(2))
 	stop := false
 	var delta uint64
+	var rttSamples int64
 	c.Spawn(0, "req", func(p *sim.Proc, n *hw.Node) {
 		ep := sys.EPs[0]
 		for i := 0; i < 512; i++ {
@@ -105,11 +106,13 @@ func TestShortEchoZeroAlloc(t *testing.T) {
 		for attempt := 0; attempt < 3; attempt++ {
 			runtime.GC()
 			runtime.ReadMemStats(&before)
+			samples0 := ep.Stats.RTTSamples
 			for i := 0; i < 500; i++ {
 				echo(p, ep, reqH, replies, i)
 			}
 			runtime.ReadMemStats(&after)
 			delta = after.Mallocs - before.Mallocs
+			rttSamples = ep.Stats.RTTSamples - samples0
 			if delta == 0 {
 				break
 			}
@@ -124,6 +127,9 @@ func TestShortEchoZeroAlloc(t *testing.T) {
 	c.Run()
 	if delta != 0 {
 		t.Fatalf("%d heap allocations across 500 echo round trips with observability off, want 0", delta)
+	}
+	if rttSamples == 0 {
+		t.Fatal("no Karn-valid RTT samples taken inside the measured window; the guard no longer covers the estimator path")
 	}
 }
 
@@ -144,6 +150,7 @@ func TestBulkZeroAlloc(t *testing.T) {
 	lseg := c.Nodes[0].Mem.Add(local)
 	stop := false
 	var delta uint64
+	var rttSamples int64
 	c.Spawn(0, "tx", func(p *sim.Proc, n *hw.Node) {
 		ep := sys.EPs[0]
 		round := func() {
@@ -157,11 +164,13 @@ func TestBulkZeroAlloc(t *testing.T) {
 		for attempt := 0; attempt < 3; attempt++ {
 			runtime.GC()
 			runtime.ReadMemStats(&before)
+			samples0 := ep.Stats.RTTSamples
 			for i := 0; i < 10; i++ {
 				round()
 			}
 			runtime.ReadMemStats(&after)
 			delta = after.Mallocs - before.Mallocs
+			rttSamples = ep.Stats.RTTSamples - samples0
 			if delta == 0 {
 				break
 			}
@@ -176,6 +185,9 @@ func TestBulkZeroAlloc(t *testing.T) {
 	c.Run()
 	if delta != 0 {
 		t.Fatalf("%d heap allocations across 10 steady-state store+get rounds with observability off, want 0", delta)
+	}
+	if rttSamples == 0 {
+		t.Fatal("no Karn-valid RTT samples taken inside the measured window; the guard no longer covers the estimator path")
 	}
 	for i := range src {
 		if local[i] != src[i] {

@@ -67,6 +67,14 @@ type Stats struct {
 	// mismatch (injected corruption); the data is recovered by
 	// retransmission like any other loss.
 	CorruptDropped int64
+	// RTTSamples counts Karn-valid round-trip samples folded into the
+	// Jacobson RTO estimators.
+	RTTSamples int64
+	// Backoffs counts keep-alive probe rounds beyond the first (each paid an
+	// exponentially grown empty-poll threshold and RTO wait).
+	Backoffs int64
+	// DeadPeers counts fail-stop declarations this endpoint made.
+	DeadPeers int64
 }
 
 // System is the AM layer instantiated across a cluster: one Endpoint per
@@ -98,6 +106,7 @@ func NewWithOptions(c *hw.Cluster, opt Options) *System {
 		}
 		s.EPs = append(s.EPs, ep)
 	}
+	c.AddDiagnostic(s.diagnose)
 	return s
 }
 
@@ -142,6 +151,10 @@ type Endpoint struct {
 	pendingCommit int                   // staged FIFO entries not yet committed
 	drainArmed    bool                  // Drain has installed the arrival hook
 	drainBusy     bool                  // a post-drain service proc is running
+
+	// errHandler, when set, is invoked once per peer declared dead (see
+	// SetErrorHandler).
+	errHandler ErrorHandler
 
 	Stats Stats
 	// Data is application-owned context (runtimes hang their state here).
@@ -228,6 +241,16 @@ type peerState struct {
 	// forceAck requests an explicit ack be emitted at the next opportunity
 	// (chunk completion or ack-threshold crossing).
 	forceAck bool
+
+	// RTT estimation (Jacobson mean/variance over Karn-valid samples; srtt
+	// of 0 means no sample yet) and the adaptive probe-round state. Probe
+	// rounds grow the keep-alive threshold and the RTO wait exponentially
+	// until cumulative-ack progress resets them; past the death threshold
+	// the peer is declared fail-stopped.
+	srtt, rttvar sim.Time
+	probeRounds  int
+	nextProbeAt  sim.Time // earliest time a round > 0 probe may fire
+	deathErr     *PeerDeathError
 }
 
 func newPeerState(opt Options) *peerState {
@@ -253,6 +276,13 @@ type txChan struct {
 
 	lastNackRetx uint64 // last nack sequence acted on (dedup)
 	hasNackRetx  bool
+
+	// One in-flight RTT sample (Karn's rule: a retransmission covering the
+	// timed sequence invalidates the sample; only packets acknowledged
+	// after a loss-free flight feed the estimator).
+	rttSeq   uint64
+	rttAt    sim.Time
+	rttValid bool
 }
 
 // inFlight reports occupied window units.
@@ -325,6 +355,7 @@ type bulkOp struct {
 	id       uint64
 	bk       uint8
 	dst      int // node receiving the data
+	peer     int // remote party of the op (differs from dst for gets)
 	ch       int
 	src      []byte  // data source (sender side)
 	daddr    hw.Addr // destination base address
@@ -342,4 +373,9 @@ type bulkOp struct {
 
 	// Initiator-side completion (get): all data arrived.
 	done bool
+
+	// failed marks an op abandoned because its peer was declared dead.
+	// Failed records are never recycled (their generation stays put), so a
+	// blocked waiter reads the flag race-free and the error sticks.
+	failed bool
 }

@@ -36,11 +36,31 @@ var (
 // polled) to reduce the number of microchannel accesses".
 const lazyPopBatch = 16
 
-// keepAlivePolls is the number of consecutive empty polls with
-// unacknowledged traffic outstanding before the keep-alive protocol sends a
-// probe ("timeouts are emulated by counting the number of unsuccessful
-// polls" — paper §2.2).
-const keepAlivePolls = 1500
+// Keep-alive and fail-stop defaults (overridable through Options).
+const (
+	// defaultKeepAlivePolls is the number of consecutive empty polls with
+	// unacknowledged traffic outstanding before the keep-alive protocol sends
+	// a probe ("timeouts are emulated by counting the number of unsuccessful
+	// polls" — paper §2.2).
+	defaultKeepAlivePolls = 1500
+	// defaultBackoffCap bounds the exponential growth of successive probe
+	// rounds: round r waits keepAlivePolls << min(r, cap) empty polls.
+	defaultBackoffCap = 6
+	// defaultDeathThreshold is how many successive probe rounds may elapse
+	// with no cumulative-ack progress before the peer is declared dead.
+	defaultDeathThreshold = 8
+	// maxBackoffShift bounds the shift applied to poll thresholds and RTOs
+	// regardless of a caller-supplied BackoffCap, keeping the arithmetic far
+	// from overflow.
+	maxBackoffShift = 30
+)
+
+// Retransmission-timer defaults (Jacobson/Karn estimator bounds).
+var (
+	defaultInitialRTO = hw.US(2000)
+	defaultMinRTO     = hw.US(500)
+	defaultMaxRTO     = hw.US(50000)
+)
 
 // Protocol constants from paper §2.2.
 const (
@@ -72,6 +92,20 @@ type Options struct {
 	LazyPop bool
 	// WndRequest/WndReply override the window sizes when nonzero.
 	WndRequest, WndReply int
+	// KeepAlivePolls overrides (when positive) the empty-poll count that
+	// triggers the first keep-alive probe of a round sequence.
+	KeepAlivePolls int
+	// BackoffCap overrides (when positive) the cap on the exponential
+	// poll-threshold growth across successive probe rounds.
+	BackoffCap int
+	// DeathThreshold overrides the number of successive unanswered probe
+	// rounds before a peer is declared dead: positive sets the count,
+	// negative disables fail-stop detection entirely, zero keeps the
+	// default.
+	DeathThreshold int
+	// InitialRTO/MinRTO/MaxRTO override (when positive) the retransmission
+	// timer used to pace backoff rounds before and after RTT samples exist.
+	InitialRTO, MinRTO, MaxRTO sim.Time
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -91,6 +125,57 @@ func (o Options) wndReply() int {
 		return o.WndReply
 	}
 	return WndReply
+}
+
+func (o Options) keepAlivePolls() int {
+	if o.KeepAlivePolls > 0 {
+		return o.KeepAlivePolls
+	}
+	return defaultKeepAlivePolls
+}
+
+func (o Options) backoffCap() int {
+	c := o.BackoffCap
+	if c <= 0 {
+		c = defaultBackoffCap
+	}
+	if c > maxBackoffShift {
+		c = maxBackoffShift
+	}
+	return c
+}
+
+// deathDisabled reports whether fail-stop detection is switched off
+// (DeathThreshold < 0): probe rounds back off forever, no peer is ever
+// declared dead.
+func (o Options) deathDisabled() bool { return o.DeathThreshold < 0 }
+
+func (o Options) deathThreshold() int {
+	if o.DeathThreshold > 0 {
+		return o.DeathThreshold
+	}
+	return defaultDeathThreshold
+}
+
+func (o Options) initialRTO() sim.Time {
+	if o.InitialRTO > 0 {
+		return o.InitialRTO
+	}
+	return defaultInitialRTO
+}
+
+func (o Options) minRTO() sim.Time {
+	if o.MinRTO > 0 {
+		return o.MinRTO
+	}
+	return defaultMinRTO
+}
+
+func (o Options) maxRTO() sim.Time {
+	if o.MaxRTO > 0 {
+		return o.MaxRTO
+	}
+	return defaultMaxRTO
 }
 
 func wordsCost(n int) sim.Time {

@@ -43,12 +43,25 @@ func (ep *Endpoint) localQuiescent() bool {
 // packet in flight has a sender that is not locally quiescent — so it is
 // still polling, retransmitting on timeout — while a drained receiver needs
 // no stimulus other than the arrival itself.
-func (ep *Endpoint) Drain(p *sim.Proc) {
+//
+// budget bounds the wait in simulated time (0 = unbounded, the historical
+// behavior): if the endpoint has not quiesced when budget elapses, Drain
+// stops and returns a *DrainTimeoutError naming the peers and sequence
+// ranges still unacknowledged. Each poll advances the simulated clock, so
+// the deadline is always reached — Drain cannot wedge.
+func (ep *Endpoint) Drain(p *sim.Proc, budget sim.Time) error {
+	var deadline sim.Time
+	if budget > 0 {
+		deadline = ep.node.Eng.Now() + budget
+	}
 	for !ep.localQuiescent() || ep.node.Adapter.RecvLen() > 0 {
+		if deadline > 0 && ep.node.Eng.Now() >= deadline {
+			return &DrainTimeoutError{Node: ep.ID(), Budget: budget, Pending: ep.pendingSummary()}
+		}
 		ep.Poll(p)
 	}
 	if ep.drainArmed {
-		return
+		return nil
 	}
 	ep.drainArmed = true
 	ep.node.Adapter.SetArrivalHook(func() {
@@ -63,4 +76,5 @@ func (ep *Endpoint) Drain(p *sim.Proc) {
 			ep.drainBusy = false
 		})
 	})
+	return nil
 }

@@ -17,11 +17,15 @@ type sysMetrics struct {
 	nacksSent         *trace.Counter
 	probes            *trace.Counter
 	corruptDropped    *trace.Counter
+	backoffs          *trace.Counter // probe rounds beyond the first
+	peerDeaths        *trace.Counter // fail-stop declarations
 
 	recvFIFO  *trace.Histogram // receive-FIFO occupancy seen at each poll
 	pollBatch *trace.Histogram // packets drained per poll
 	inflight  *trace.Histogram // window occupancy at each short injection
 	sendFIFO  *trace.Histogram // send-FIFO occupancy at each injection
+	rtoNS     *trace.Histogram // RTO estimate (ns) after each RTT sample
+	detectNS  *trace.Histogram // kill-to-declaration latency (ns)
 }
 
 func newSysMetrics(reg *trace.Registry) *sysMetrics {
@@ -33,10 +37,14 @@ func newSysMetrics(reg *trace.Registry) *sysMetrics {
 		nacksSent:      reg.Counter("am.nacks_sent"),
 		probes:         reg.Counter("am.probes_sent"),
 		corruptDropped: reg.Counter("am.corrupt_dropped"),
+		backoffs:       reg.Counter("am.backoffs"),
+		peerDeaths:     reg.Counter("am.peer_deaths"),
 		recvFIFO:       reg.Histogram("am.recv_fifo_occupancy"),
 		pollBatch:      reg.Histogram("am.poll_batch"),
 		inflight:       reg.Histogram("am.window_inflight"),
 		sendFIFO:       reg.Histogram("am.send_fifo_occupancy"),
+		rtoNS:          reg.Histogram("am.rto_ns"),
+		detectNS:       reg.Histogram("am.death_detect_ns"),
 	}
 }
 

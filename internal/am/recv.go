@@ -20,6 +20,12 @@ func (ep *Endpoint) emit(k trace.Kind, pkt, arg int64, class string) {
 // outgoing work. Polling an empty network costs 1.3 µs plus about 1.8 µs
 // per received message (paper §2.5).
 func (ep *Endpoint) Poll(p *sim.Proc) {
+	if ep.node.Killed() {
+		// Fail-stopped node: the program never runs another instruction.
+		// Detach parks the process forever and reclassifies it as a daemon
+		// so the rest of the simulation can finish without it.
+		p.Detach("fail-stopped (killed)")
+	}
 	ep.Stats.Polls++
 	ep.emit(trace.EvPollStart, 0, 0, "")
 	ad := ep.node.Adapter
@@ -86,6 +92,12 @@ func (ep *Endpoint) processPacket(p *sim.Proc, pkt *hw.Packet) bool {
 		return false
 	}
 	ps := ep.peer(src)
+	if ps.deathErr != nil {
+		// Declared dead: late traffic (an asymmetric partition, not a true
+		// fail-stop) is ignored — the declaration is sticky.
+		ep.node.ComputeUnscaled(p, costPerMsg)
+		return false
+	}
 	ps.emptyStreak = 0
 
 	if m.Kind == kRaw {
@@ -121,6 +133,16 @@ func (ep *Endpoint) applyAck(p *sim.Proc, src int, ackReq, ackRep uint64) {
 			continue
 		}
 		tc.ackedSeq = ack
+		// Cumulative-ack progress: the peer is alive, so any probe-round
+		// ladder restarts from scratch.
+		ps.probeRounds = 0
+		ps.nextProbeAt = 0
+		if tc.rttValid && ack > tc.rttSeq {
+			// The timed flight completed without a covering retransmission
+			// (Karn's rule kept the sample valid): feed the estimator.
+			tc.rttValid = false
+			ep.sampleRTT(ps, ep.node.Eng.Now()-tc.rttAt)
+		}
 		for tc.saved.Len() > 0 {
 			sp := tc.saved.Peek()
 			if sp.m.Seq+sp.m.Span() > ack {
@@ -298,6 +320,7 @@ func (ep *Endpoint) deliverShort(p *sim.Proc, src int, m *msg, tid int64) {
 		op.id = m.Op
 		op.bk = bkGetData
 		op.dst = src
+		op.peer = src
 		op.ch = chRep
 		op.src = srcData
 		op.daddr = m.LAddr
@@ -343,6 +366,9 @@ func (ep *Endpoint) runBulkHandler(p *sim.Proc, h HandlerID, tok Token, addr hw.
 // never be retransmitted).
 func (ep *Endpoint) explicitAcks(p *sim.Proc) {
 	for id, ps := range ep.peers {
+		if ps.deathErr != nil {
+			continue
+		}
 		need := ps.forceAck ||
 			ps.rx[chReq].unackedPkts >= ep.sys.Opt.wndRequest()/4 ||
 			ps.rx[chRep].unackedPkts >= ep.sys.Opt.wndReply()/4
@@ -355,17 +381,50 @@ func (ep *Endpoint) explicitAcks(p *sim.Proc) {
 // keepAlive sends a probe to any peer with long-unacknowledged traffic; the
 // probe elicits an explicit ack, and an ack that fails to cover our saved
 // packets triggers retransmission (paper §2.2's keep-alive protocol).
+//
+// Successive probe rounds with no cumulative-ack progress back off
+// exponentially: round r waits KeepAlivePolls << min(r, BackoffCap) empty
+// polls and, past round 0, at least the RTT-derived RTO (also shifted by
+// the round). Round 0 behaves exactly like the paper's fixed-threshold
+// probe, so lossless runs are untouched. A peer that stays silent through
+// DeathThreshold rounds is declared fail-stopped.
 func (ep *Endpoint) keepAlive(p *sim.Proc) {
+	o := ep.sys.Opt
 	for id, ps := range ep.peers {
+		if ps.deathErr != nil {
+			continue
+		}
 		if ps.tx[chReq].saved.Len() == 0 && ps.tx[chRep].saved.Len() == 0 {
 			ps.emptyStreak = 0
+			ps.probeRounds = 0
+			ps.nextProbeAt = 0
 			continue
 		}
 		ps.emptyStreak++
-		if ps.emptyStreak >= keepAlivePolls {
-			ps.emptyStreak = 0
-			ps.probed = true
-			ep.sendCtrl(p, id, kProbe, 0, chReq)
+		r := ps.probeRounds
+		if c := o.backoffCap(); r > c {
+			r = c
 		}
+		if ps.emptyStreak < o.keepAlivePolls()<<uint(r) {
+			continue
+		}
+		if r > 0 && ep.node.Eng.Now() < ps.nextProbeAt {
+			continue
+		}
+		if !o.deathDisabled() && ps.probeRounds >= o.deathThreshold() {
+			ep.declarePeerDead(p, id, ps)
+			continue
+		}
+		ps.emptyStreak = 0
+		ps.probed = true
+		if ps.probeRounds > 0 {
+			ep.Stats.Backoffs++
+			if met := ep.sys.met; met != nil {
+				met.backoffs.Inc()
+			}
+		}
+		ps.probeRounds++
+		ps.nextProbeAt = ep.node.Eng.Now() + ep.rto(ps)<<uint(r)
+		ep.sendCtrl(p, id, kProbe, 0, chReq)
 	}
 }

@@ -11,21 +11,32 @@ import (
 // Request sends a short request of up to four words to dst and invokes
 // handler h there. As in the paper, each am_request polls the network once
 // after sending. Requests may not be issued from inside a handler.
-func (ep *Endpoint) Request(p *sim.Proc, dst int, h HandlerID, args ...uint32) {
+//
+// A non-nil error means dst has been declared fail-stopped (PeerDeathError)
+// and the request was not — or can no longer be confirmed — delivered.
+func (ep *Endpoint) Request(p *sim.Proc, dst int, h HandlerID, args ...uint32) error {
 	ep.mustNotBeInHandler("Request")
+	if err := ep.PeerErr(dst); err != nil {
+		return err
+	}
 	ep.Stats.Requests++
 	ep.emit(trace.EvReqStart, 0, int64(len(args)), "")
 	m := ep.shortMsg(kRequest, chReq, h, args)
 	ep.sendShortBlocking(p, dst, m, costReqBuild+wordsCost(len(args)))
 	ep.Poll(p)
+	return ep.PeerErr(dst)
 }
 
 // Reply sends a short reply to the requester identified by tok. Replies are
 // only legal from request handlers, and each request may be replied to at
-// most once.
-func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) {
+// most once. Replying to a peer already declared dead returns its
+// PeerDeathError without queueing anything.
+func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) error {
 	if !tok.mayReply {
 		panic("am: Reply outside a request handler, or replied twice")
+	}
+	if err := ep.PeerErr(tok.Src); err != nil {
+		return err
 	}
 	ep.Stats.Replies++
 	ep.emit(trace.EvReplyStart, 0, int64(len(args)), "")
@@ -36,38 +47,55 @@ func (ep *Endpoint) Reply(p *sim.Proc, tok Token, h HandlerID, args ...uint32) {
 	// queued and the surrounding Poll drains it later (handlers must not
 	// spin on the network).
 	ep.drainPeer(p, tok.Src)
+	return nil
 }
 
 // Store copies data into the remote block at (dst, raddr) and invokes bulk
 // handler h on dst when the transfer completes. It blocks until the source
 // memory is reusable, i.e. the final chunk has been acknowledged (§2.2: for
 // transfers beyond one chunk this is indistinguishable from StoreAsync).
-func (ep *Endpoint) Store(p *sim.Proc, dst int, raddr hw.Addr, data []byte, h HandlerID, arg uint32) {
-	op, g := ep.startStore(p, dst, raddr, data, h, arg, nil)
+// If dst is declared dead before the final acknowledgement, the operation
+// fails and its PeerDeathError is returned.
+func (ep *Endpoint) Store(p *sim.Proc, dst int, raddr hw.Addr, data []byte, h HandlerID, arg uint32) error {
+	op, g, err := ep.startStore(p, dst, raddr, data, h, arg, nil)
+	if err != nil {
+		return err
+	}
 	// The op record is recycled once acked; a changed generation means it
-	// completed (and was reused) while we polled.
-	for op.gen == g && !op.acked {
+	// completed (and was reused) while we polled. Failed records are never
+	// recycled, so the flag check below is race-free.
+	for op.gen == g && !op.acked && !op.failed {
 		ep.Poll(p)
 	}
+	if op.gen == g && op.failed {
+		return ep.PeerErr(dst)
+	}
+	return nil
 }
 
 // StoreAsync is the non-blocking store: it returns after queueing the
 // transfer and calls onComplete (if non-nil) from a later Poll once the
-// source region is reusable.
+// source region is reusable. A non-nil error means dst was already declared
+// dead and nothing was queued (onComplete will not run).
 func (ep *Endpoint) StoreAsync(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
-	h HandlerID, arg uint32, onComplete CompletionFunc) {
-	ep.startStore(p, dst, raddr, data, h, arg, onComplete)
+	h HandlerID, arg uint32, onComplete CompletionFunc) error {
+	_, _, err := ep.startStore(p, dst, raddr, data, h, arg, onComplete)
+	return err
 }
 
 func (ep *Endpoint) startStore(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
-	h HandlerID, arg uint32, onComplete CompletionFunc) (*bulkOp, uint64) {
+	h HandlerID, arg uint32, onComplete CompletionFunc) (*bulkOp, uint64, error) {
 	ep.mustNotBeInHandler("Store")
+	if err := ep.PeerErr(dst); err != nil {
+		return nil, 0, err
+	}
 	ep.Stats.Stores++
 	ep.node.ComputeUnscaled(p, costStoreSetup)
 	op := ep.getBulkOp()
 	op.id = ep.opID()
 	op.bk = bkStore
 	op.dst = dst
+	op.peer = dst
 	op.ch = chReq
 	op.src = data
 	op.daddr = raddr
@@ -84,35 +112,50 @@ func (ep *Endpoint) startStore(p *sim.Proc, dst int, raddr hw.Addr, data []byte,
 	// polls the network once, which also keeps receive FIFOs drained
 	// during store bursts.
 	ep.Poll(p)
-	return op, g
+	return op, g, nil
 }
 
 // Get fetches nbytes from the remote block (dst, raddr) into the local
 // block laddr and blocks until the data has arrived; handler h (if not
 // NoHandler) is invoked locally on completion, matching am_get's semantics.
+// If dst is declared dead before the data arrives, the operation fails and
+// its PeerDeathError is returned.
 func (ep *Endpoint) Get(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
-	h HandlerID, arg uint32) {
-	op, g := ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
-	for op.gen == g && !op.done {
+	h HandlerID, arg uint32) error {
+	op, g, err := ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
+	if err != nil {
+		return err
+	}
+	for op.gen == g && !op.done && !op.failed {
 		ep.Poll(p)
 	}
+	if op.gen == g && op.failed {
+		return ep.PeerErr(dst)
+	}
+	return nil
 }
 
 // GetAsync initiates the fetch and returns; h runs locally when the data
-// has fully arrived.
+// has fully arrived. A non-nil error means dst was already declared dead
+// and nothing was sent.
 func (ep *Endpoint) GetAsync(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
-	h HandlerID, arg uint32) {
-	ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
+	h HandlerID, arg uint32) error {
+	_, _, err := ep.startGet(p, dst, raddr, laddr, nbytes, h, arg)
+	return err
 }
 
 func (ep *Endpoint) startGet(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr, nbytes int,
-	h HandlerID, arg uint32) (*bulkOp, uint64) {
+	h HandlerID, arg uint32) (*bulkOp, uint64, error) {
 	ep.mustNotBeInHandler("Get")
+	if err := ep.PeerErr(dst); err != nil {
+		return nil, 0, err
+	}
 	ep.Stats.Gets++
 	op := ep.getBulkOp()
 	op.id = ep.opID()
 	op.bk = bkGetData
 	op.dst = ep.ID()
+	op.peer = dst
 	op.ch = chRep
 	op.daddr = laddr
 	op.total = nbytes
@@ -126,7 +169,7 @@ func (ep *Endpoint) startGet(p *sim.Proc, dst int, raddr hw.Addr, laddr hw.Addr,
 		H: int(h), Args: [4]uint32{arg}, Nargs: 1,
 	}
 	ep.sendShortBlocking(p, dst, m, costStoreSetup)
-	return op, g
+	return op, g, nil
 }
 
 // mustNotBeInHandler enforces the GAM handler restriction the paper leans
@@ -191,6 +234,9 @@ func (ep *Endpoint) drainAll(p *sim.Proc) {
 // paper's batched-lengths optimization).
 func (ep *Endpoint) drainPeer(p *sim.Proc, dst int) {
 	ps := ep.peer(dst)
+	if ps.deathErr != nil {
+		return // nothing is ever injected toward a dead peer
+	}
 	ad := ep.node.Adapter
 
 	for ch := 0; ch < 2; ch++ {
@@ -279,6 +325,14 @@ func (ep *Endpoint) injectShort(p *sim.Proc, dst int, tc *txChan, op *txOp) {
 	ep.push(dst, m, nil, wire)
 	if m.Kind != kAck && m.Kind != kNack && m.Kind != kProbe {
 		tc.saved.Push(savedPkt{m: *m})
+		if !tc.rttValid {
+			// Start an RTT sample on this fresh (never retransmitted)
+			// sequence; injectSaved invalidates it if a covering
+			// retransmission happens first (Karn's rule).
+			tc.rttValid = true
+			tc.rttSeq = m.Seq
+			tc.rttAt = ep.node.Eng.Now()
+		}
 	}
 }
 
@@ -325,6 +379,13 @@ func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkO
 		final := op.sent+chunkBytes >= op.total
 		seq := tc.nextSeq
 		tc.nextSeq += uint64(pkts)
+		if !tc.rttValid {
+			// Time the chunk: its cumulative ack (seq+pkts) completes the
+			// sample unless a retransmission covers it first.
+			tc.rttValid = true
+			tc.rttSeq = seq
+			tc.rttAt = ep.node.Eng.Now()
+		}
 		for i := 0; i < pkts; i++ {
 			off := op.sent + i*hw.PacketDataSize
 			end := off + hw.PacketDataSize
@@ -367,6 +428,12 @@ func (ep *Endpoint) injectBulkChunks(p *sim.Proc, dst int, tc *txChan, op *bulkO
 
 // injectSaved retransmits one saved packet (charging rebuild costs).
 func (ep *Endpoint) injectSaved(p *sim.Proc, dst int, sp savedPkt) {
+	tc := &ep.peer(dst).tx[sp.m.Ch]
+	if tc.rttValid && sp.m.Seq <= tc.rttSeq && tc.rttSeq < sp.m.Seq+sp.m.Span() {
+		// Karn's rule: the timed sequence is being retransmitted, so a later
+		// ack can no longer be attributed to one flight — drop the sample.
+		tc.rttValid = false
+	}
 	ep.Stats.Retransmits++
 	if met := ep.sys.met; met != nil {
 		met.retransmits.Inc()

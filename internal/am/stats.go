@@ -25,6 +25,9 @@ func (s *System) Totals() Stats {
 		t.EmptyPolls += st.EmptyPolls
 		t.Duplicates += st.Duplicates
 		t.CorruptDropped += st.CorruptDropped
+		t.RTTSamples += st.RTTSamples
+		t.Backoffs += st.Backoffs
+		t.DeadPeers += st.DeadPeers
 	}
 	return t
 }

@@ -47,17 +47,86 @@ func amBandwidthUnder(plan *faults.Plan, n, total int) (mbps float64, st am.Stat
 		elapsed := (p.Now() - t0).Seconds()
 		mbps = float64(ops*n) / 1e6 / elapsed
 		finished = true
-		ep.Drain(p)
+		ep.Drain(p, 0)
 	})
 	c.Spawn(1, "peer", func(p *sim.Proc, n1 *hw.Node) {
 		ep := sys.EPs[1]
 		for !finished {
 			ep.Poll(p)
 		}
-		ep.Drain(p)
+		ep.Drain(p, 0)
 	})
 	c.Run()
 	return mbps, sys.Totals(), c.Losses()
+}
+
+// amKillRun streams n-byte blocking stores from node 0 at node 1, fail-stops
+// node 1 at killAt (optionally with uniform packet loss on top), and runs
+// until the survivor's AM layer declares the peer dead. It reports the
+// declaration, the operations completed before it, and the aggregate
+// protocol counters. Faults are installed per-source, so the run is
+// byte-identical under -nodepar sharding.
+func amKillRun(killAt sim.Time, loss float64, n int) (derr *am.PeerDeathError, completed int, errAt sim.Time, st am.Stats) {
+	c := hw.NewCluster(hw.DefaultConfig(2))
+	sys := am.New(c)
+	var rules []*faults.Rule
+	if loss > 0 {
+		rules = append(rules, faults.Loss(loss))
+	}
+	plan := faults.NewPlan(fmt.Sprintf("kill@%v", killAt), 0x51a11, rules...).WithKill(1, killAt)
+	plan.ApplyPerSource(c)
+
+	remoteSeg := c.Nodes[1].Mem.Add(make([]byte, n))
+	c.Spawn(0, "mover", func(p *sim.Proc, n0 *hw.Node) {
+		ep := sys.EPs[0]
+		src := make([]byte, n)
+		raddr := hw.Addr{Seg: remoteSeg}
+		for {
+			if err := ep.Store(p, 1, raddr, src, am.NoHandler, 0); err != nil {
+				derr, _ = err.(*am.PeerDeathError)
+				errAt = p.Now()
+				return
+			}
+			completed++
+		}
+	})
+	c.Spawn(1, "victim", func(p *sim.Proc, n1 *hw.Node) {
+		ep := sys.EPs[1]
+		for { // Poll detaches this proc the moment the node fail-stops
+			ep.Poll(p)
+		}
+	})
+	c.Run()
+	return derr, completed, errAt, sys.Totals()
+}
+
+// KillTable sweeps fail-stop kill times (clean and under packet loss) and
+// prints, for each, the survivor's detection latency — from the instant of
+// the kill to the peer-death declaration — plus the backoff work that led to
+// it and the goodput delivered up to the declaration. This is the repo's
+// failure-detection-latency experiment: detection is driven entirely by the
+// adaptive RTO backoff ladder, so latency grows with the measured RTT and
+// with loss-induced RTO inflation, not with a hardwired timeout.
+func KillTable(w io.Writer) {
+	const n = 4 << 10
+	kills := []sim.Time{hw.US(500), hw.US(1000), hw.US(2000), hw.US(4000)}
+	losses := []float64{0, 0.02}
+	fmt.Fprintf(w, "# chaos kill: fail-stop detection latency and goodput (%d-byte blocking stores, node 1 killed)\n", n)
+	fmt.Fprintf(w, "%-10s %6s %11s %7s %9s %8s %7s %10s\n",
+		"kill_at", "loss", "detect_us", "rounds", "backoffs", "probes", "ops", "MB/s")
+	for _, ka := range kills {
+		for _, loss := range losses {
+			derr, completed, errAt, st := amKillRun(ka, loss, n)
+			if derr == nil {
+				fmt.Fprintf(w, "%-10v %5.1f%% %11s\n", ka, loss*100, "no-detect")
+				continue
+			}
+			det := float64(derr.At-ka) / 1000.0
+			goodput := float64(completed*n) / 1e6 / errAt.Seconds()
+			fmt.Fprintf(w, "%-10v %5.1f%% %11.1f %7d %9d %8d %7d %10.2f\n",
+				ka, loss*100, det, derr.Rounds, st.Backoffs, st.Probes, completed, goodput)
+		}
+	}
 }
 
 // ChaosTable sweeps uniform random packet-loss rates and prints the

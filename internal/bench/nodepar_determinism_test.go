@@ -107,14 +107,14 @@ func chaosEchoUnderPerSource(plan *faults.Plan, n, total int) []byte {
 		}
 		finish = p.Now()
 		finished = true
-		ep.Drain(p)
+		ep.Drain(p, 0)
 	})
 	c.Spawn(1, "peer", func(p *sim.Proc, n1 *hw.Node) {
 		ep := sys.EPs[1]
 		for !finished {
 			ep.Poll(p)
 		}
-		ep.Drain(p)
+		ep.Drain(p, 0)
 	})
 	c.Run()
 	return []byte(fmt.Sprintf("finish=%v stats=%+v losses=%+v final=%v\n",
@@ -128,5 +128,20 @@ func TestNodeParMatchesSerialChaosPlan(t *testing.T) {
 	}
 	requireSameAcrossShards(t, "chaos drop2pct path", func() []byte {
 		return chaosEchoUnderPerSource(plan, 1<<14, 1<<18)
+	})
+}
+
+// TestNodeParMatchesSerialKillSweep renders the fail-stop kill sweep —
+// adaptive RTO backoff, death declarations, detection latencies, goodput —
+// serially and under every shard count. The whole table must be
+// byte-identical: failure detection is part of the determinism contract.
+func TestNodeParMatchesSerialKillSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	requireSameAcrossShards(t, "chaos kill sweep", func() []byte {
+		var buf bytes.Buffer
+		KillTable(&buf)
+		return buf.Bytes()
 	})
 }

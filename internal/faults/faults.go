@@ -23,9 +23,11 @@ import (
 // (OnClass, FromNode, ToNode, Between). The zero filters match everything.
 type Rule struct {
 	classes   []string
-	src, dst  int      // -1 = any
-	from      sim.Time // window start (inclusive)
-	until     sim.Time // window end (exclusive); 0 = forever
+	src, dst  int          // -1 = any
+	srcSet    map[int]bool // non-nil: src must be a member (partitions)
+	dstSet    map[int]bool // non-nil: dst must be a member
+	from      sim.Time     // window start (inclusive)
+	until     sim.Time     // window end (exclusive); 0 = forever
 	act       hw.FaultAction
 	rate      float64  // firing probability per matching packet
 	delay     sim.Time // fixed extra latency for delay verdicts
@@ -77,6 +79,28 @@ func Blackout(from, until sim.Time) *Rule {
 	return r
 }
 
+// PartitionOneWay drops every packet from a node in srcs to a node in dsts
+// during [from, until) (until 0 = forever). The cut is asymmetric: traffic
+// in the reverse direction still flows, so each side sees a different
+// network — the srcs side's packets vanish while its peers' arrive. Both
+// sides still converge on a fail-stop verdict: the srcs side gets no acks
+// and declares its peers dead through backoff; the dsts side then drops the
+// declared-dead peers' arrivals and, with traffic of its own pending,
+// declares death from its side too.
+func PartitionOneWay(srcs, dsts []int, from, until sim.Time) *Rule {
+	r := newRule(hw.ActDrop, 1)
+	r.from, r.until = from, until
+	r.srcSet = make(map[int]bool, len(srcs))
+	for _, n := range srcs {
+		r.srcSet[n] = true
+	}
+	r.dstSet = make(map[int]bool, len(dsts))
+	for _, n := range dsts {
+		r.dstSet[n] = true
+	}
+	return r
+}
+
 // Degrade slows every matching packet as if the link ran at 1/factor of its
 // nominal bandwidth: each packet is held for (factor-1) extra transmission
 // times before injection. factor must be > 1.
@@ -108,6 +132,12 @@ func (r *Rule) matches(now sim.Time, pkt *hw.Packet) bool {
 		return false
 	}
 	if r.dst >= 0 && pkt.Dst != r.dst {
+		return false
+	}
+	if r.srcSet != nil && !r.srcSet[pkt.Src] {
+		return false
+	}
+	if r.dstSet != nil && !r.dstSet[pkt.Dst] {
 		return false
 	}
 	if now < r.from || (r.until > 0 && now >= r.until) {
@@ -142,17 +172,41 @@ func (r *Rule) String() string {
 	return s
 }
 
-// Plan is a named, seeded collection of rules. Rules are consulted in order
-// per packet; the first rule that matches and fires decides the verdict.
+// NodeKill fail-stops one node at a simulated time: from At on, the node's
+// adapter delivers nothing and the switch drops everything it injected.
+type NodeKill struct {
+	Node int
+	At   sim.Time
+}
+
+// Plan is a named, seeded collection of rules plus fail-stop node kills.
+// Rules are consulted in order per packet; the first rule that matches and
+// fires decides the verdict.
 type Plan struct {
 	Name  string
 	Seed  uint64
 	Rules []*Rule
+	Kills []NodeKill
 }
 
 // NewPlan builds a plan.
 func NewPlan(name string, seed uint64, rules ...*Rule) *Plan {
 	return &Plan{Name: name, Seed: seed, Rules: rules}
+}
+
+// WithKill adds a fail-stop node kill to the plan (chainable).
+func (p *Plan) WithKill(node int, at sim.Time) *Plan {
+	p.Kills = append(p.Kills, NodeKill{Node: node, At: at})
+	return p
+}
+
+// applyKills arms the plan's fail-stop kills on the cluster. Kills are
+// time-based state, not scheduled events, so they are deterministic across
+// serial and sharded runs.
+func (p *Plan) applyKills(c *hw.Cluster) {
+	for _, k := range p.Kills {
+		c.Kill(k.Node, k.At)
+	}
 }
 
 // verdict runs the plan's rule list against one packet using the given
@@ -211,14 +265,15 @@ func (p *Plan) Compile(eng *sim.Engine) hw.FaultFunc {
 	}
 }
 
-// Apply installs the compiled plan on the cluster's switch. A nil plan
-// clears the fault hook (the lossless baseline).
+// Apply installs the compiled plan on the cluster's switch and arms its
+// node kills. A nil plan clears the fault hook (the lossless baseline).
 func (p *Plan) Apply(c *hw.Cluster) {
 	if p == nil {
 		c.Switch.Fault = nil
 		return
 	}
 	c.Switch.Fault = p.Compile(c.Eng)
+	p.applyKills(c)
 }
 
 // CompilePerSource lowers the plan into one fault hook per injecting node.
@@ -255,6 +310,7 @@ func (p *Plan) ApplyPerSource(c *hw.Cluster) {
 		return
 	}
 	c.Switch.FaultBySrc = p.CompilePerSource(len(c.Nodes))
+	p.applyKills(c)
 }
 
 // StandardPlans returns the canonical chaos suite: one plan per fault kind,
@@ -269,5 +325,20 @@ func StandardPlans(seed uint64) []*Plan {
 		NewPlan("corrupt", seed+4, Corrupt(0.02)),
 		NewPlan("blackout", seed+5, Blackout(50*hw.Microsecond, 350*hw.Microsecond)),
 		NewPlan("degraded", seed+6, Degrade(2.0)),
+	}
+}
+
+// FailStopPlans returns the fail-stop chaos suite: a node kill and an
+// asymmetric (one-way) partition, both with per-rule deterministic streams
+// like every other plan. These are deliberately NOT part of StandardPlans —
+// the recoverable-fault soak tests assert end-to-end checksums equal to the
+// lossless baseline, and a fail-stopped node changes the computation itself.
+// Fail-stop soak tests instead assert bounded-time typed errors on the
+// survivors.
+func FailStopPlans(seed uint64) []*Plan {
+	return []*Plan{
+		NewPlan("kill", seed+20).WithKill(1, 2000*hw.Microsecond),
+		NewPlan("partition1way", seed+21,
+			PartitionOneWay([]int{0}, []int{1}, 500*hw.Microsecond, 0)),
 	}
 }

@@ -321,3 +321,71 @@ func TestStandardPlansAllDistinctAndComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionOneWayMatching checks the asymmetric cut: only src-set to
+// dst-set packets inside the window match; the reverse direction and
+// uninvolved nodes never do, and until=0 means forever.
+func TestPartitionOneWayMatching(t *testing.T) {
+	r := PartitionOneWay([]int{0, 1}, []int{2}, 100, 0)
+	pkt := func(src, dst int) *hw.Packet { return &hw.Packet{Src: src, Dst: dst} }
+	cases := []struct {
+		name string
+		now  sim.Time
+		pkt  *hw.Packet
+		want bool
+	}{
+		{"cut direction", 100, pkt(0, 2), true},
+		{"cut direction, other src", 100, pkt(1, 2), true},
+		{"reverse direction", 100, pkt(2, 0), false},
+		{"src not in set", 100, pkt(3, 2), false},
+		{"dst not in set", 100, pkt(0, 1), false},
+		{"before window", 99, pkt(0, 2), false},
+		{"until=0 is forever", 1 << 40, pkt(0, 2), true},
+	}
+	for _, tc := range cases {
+		if got := r.matches(tc.now, tc.pkt); got != tc.want {
+			t.Errorf("%s: matches = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWithKillArmsCluster checks that applying a plan with kills arms the
+// fail-stop gate on both the node and the switch, for Apply and
+// ApplyPerSource alike.
+func TestWithKillArmsCluster(t *testing.T) {
+	const at = sim.Time(12345)
+	for _, mode := range []string{"apply", "per-source"} {
+		c := hw.NewCluster(hw.DefaultConfig(3))
+		plan := NewPlan("kill", 1).WithKill(2, at)
+		if mode == "apply" {
+			plan.Apply(c)
+		} else {
+			plan.ApplyPerSource(c)
+		}
+		if got := c.Nodes[2].KillTime(); got != at {
+			t.Errorf("%s: node kill time = %v, want %v", mode, got, at)
+		}
+		if c.Nodes[0].KillTime() != 0 || c.Nodes[1].KillTime() != 0 {
+			t.Errorf("%s: kill leaked to other nodes", mode)
+		}
+	}
+}
+
+// TestFailStopPlansNotStandard pins the registry split: the fail-stop plans
+// terminate runs with errors, so they must never leak into StandardPlans,
+// whose consumers assert checksum equality against a lossless baseline.
+func TestFailStopPlansNotStandard(t *testing.T) {
+	std := map[string]bool{}
+	for _, p := range StandardPlans(1) {
+		std[p.Name] = true
+	}
+	fs := FailStopPlans(1)
+	if len(fs) == 0 {
+		t.Fatal("FailStopPlans is empty")
+	}
+	for _, p := range fs {
+		if std[p.Name] {
+			t.Errorf("fail-stop plan %q is also in StandardPlans", p.Name)
+		}
+	}
+}

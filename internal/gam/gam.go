@@ -140,6 +140,7 @@ func (g *gnode) ID() int            { return g.id }
 func (g *gnode) N() int             { return len(g.m.nodes) }
 func (g *gnode) LocalMem() []byte   { return g.mem }
 func (g *gnode) StoredBytes() int64 { return g.stored }
+func (g *gnode) Err() error         { return nil } // LogGP model: no fault injection
 
 func (g *gnode) SetCtlHandler(fn func(p *sim.Proc, src int, a, b uint64)) { g.ctlFn = fn }
 

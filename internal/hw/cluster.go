@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"strings"
 
 	"spam/internal/sim"
 	"spam/internal/trace"
@@ -30,6 +31,12 @@ type Cluster struct {
 	Nodes  []*Node
 	Switch *Switch
 	grp    *sim.Group
+
+	// diags are diagnosis callbacks the protocol layers register (see
+	// AddDiagnostic); the liveness watchdog invokes them to build its stall
+	// report. They run only when no shard is executing, so they may read
+	// any node's state.
+	diags []func() string
 }
 
 // Config selects the hardware variant for a cluster.
@@ -170,6 +177,117 @@ func (c *Cluster) Run() {
 		return
 	}
 	c.Eng.RunAll()
+}
+
+// Kill fail-stops node id at simulated time at: from then on the node
+// injects nothing at the fabric and delivers nothing into its receive FIFO,
+// and its program process detaches at its next network operation. Kill
+// state is time-based (no event is scheduled), so it is deterministic
+// across serial and sharded runs; arm it before Run.
+func (c *Cluster) Kill(id int, at sim.Time) {
+	c.Nodes[id].Kill(at)
+	c.Switch.SetKillTime(id, at)
+}
+
+// AddDiagnostic registers a callback that renders one protocol layer's view
+// of the cluster (window state, unacknowledged sequences, ...) for the
+// liveness watchdog's stall report.
+func (c *Cluster) AddDiagnostic(fn func() string) {
+	c.diags = append(c.diags, fn)
+}
+
+// WatchdogError reports that the simulation made no delivery progress for a
+// full watchdog budget: the structured alternative to a silently spinning
+// run when the workload is wedged on traffic that can never arrive.
+type WatchdogError struct {
+	At     sim.Time // simulated time the stall was detected
+	Budget sim.Time // the no-progress budget that elapsed
+	Report string   // diagnosis collected from AddDiagnostic callbacks
+}
+
+func (e *WatchdogError) Error() string {
+	s := fmt.Sprintf("hw: liveness watchdog: no delivery progress for %v (at t=%v)", e.Budget, e.At)
+	if e.Report != "" {
+		s += "\n" + e.Report
+	}
+	return s
+}
+
+// progressMark is the watchdog's liveness signal: packets placed into (or
+// overflowing at) receive FIFOs plus workload processes finished. Fabric
+// injections are deliberately excluded — a wedged protocol keeps probing
+// forever, and those sends must not count as progress.
+func (c *Cluster) progressMark() int64 {
+	var m int64
+	for _, n := range c.Nodes {
+		m += n.Adapter.Delivered + n.Adapter.DroppedOverflow
+	}
+	if c.grp != nil {
+		for _, e := range c.grp.Engines() {
+			m -= int64(e.Live())
+		}
+	} else {
+		m -= int64(c.Eng.Live())
+	}
+	return m
+}
+
+func (c *Cluster) diagnose() string {
+	var b strings.Builder
+	for _, fn := range c.diags {
+		if s := fn(); s != "" {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(s)
+		}
+	}
+	return b.String()
+}
+
+// RunChecked drives the simulation like Run, but in bounded slices of
+// budget simulated time, checking for delivery progress between slices. If
+// a full budget elapses with no packet delivered anywhere and no workload
+// process finishing, it stops and returns a *WatchdogError carrying the
+// registered diagnostics instead of spinning forever. Deadlocks are
+// returned as errors rather than panics. budget must exceed the longest
+// legitimate communication-free stretch of the workload. Works identically
+// over serial and sharded (-nodepar) clusters: both engines' Run methods
+// are resumable, and slicing by horizon does not perturb event order.
+func (c *Cluster) RunChecked(budget sim.Time) error {
+	if budget <= 0 {
+		panic("hw: RunChecked budget must be positive")
+	}
+	last := c.progressMark() - 1 // first slice always counts as progress
+	for horizon := c.Eng.Now() + budget; ; horizon += budget {
+		var err error
+		if c.grp != nil {
+			err = c.grp.Run(horizon)
+		} else {
+			err = c.Eng.Run(horizon)
+		}
+		if err != nil {
+			return err
+		}
+		pending := false
+		if c.grp != nil {
+			pending = c.grp.Pending()
+		} else {
+			pending = c.Eng.Pending()
+		}
+		if !pending {
+			if c.grp != nil {
+				c.Switch.mergeShardStats()
+				recordShardStats(c.grp)
+			}
+			return nil
+		}
+		cur := c.progressMark()
+		if cur == last {
+			return &WatchdogError{At: c.Eng.Now(), Budget: budget, Report: c.diagnose()}
+		}
+		last = cur
+	}
 }
 
 // LossReport breaks packet-loss accounting into its distinguishable

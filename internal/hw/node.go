@@ -15,7 +15,34 @@ type Node struct {
 	// packets here at injection and Put received packets back after
 	// processing them (see PacketPool for the ownership discipline).
 	Pool *PacketPool
+
+	// killAt, when nonzero, is the simulated time at or after which this
+	// node is fail-stopped (Cluster.Kill). Kill state is a pure function of
+	// time — no event is scheduled — so every layer that consults it sees
+	// the same answer in serial and sharded runs regardless of same-instant
+	// event ordering.
+	killAt sim.Time
 }
+
+// Kill fail-stops this node at time at (0 disarms): from then on the node
+// delivers no packets into its receive FIFO, injects nothing at the fabric,
+// and its program process is expected to detach at its next network
+// operation (the protocol layers check Killed and call Proc.Detach).
+func (n *Node) Kill(at sim.Time) {
+	if at <= 0 {
+		n.killAt = 0
+		return
+	}
+	n.killAt = at
+}
+
+// Killed reports whether the node is fail-stopped at the current time.
+func (n *Node) Killed() bool {
+	return n.killAt > 0 && n.Eng.Now() >= n.killAt
+}
+
+// KillTime returns the armed fail-stop time (0 = never).
+func (n *Node) KillTime() sim.Time { return n.killAt }
 
 // Compute charges d of computation, scaled by the node's CPU speed. This is
 // how application kernels (sorts, FFTs, stencils) account for their local

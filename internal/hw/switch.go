@@ -199,7 +199,15 @@ type Switch struct {
 	// (fixed seed, drawn from only on corrupt verdicts) so the corruption
 	// path does no lazy setup. Sharded runs use per-port streams instead.
 	chaosRng *sim.Rand
+	// killAt[i], when nonzero, is the time from which node i's injections
+	// are discarded at the fabric (Cluster.Kill keeps it in sync with the
+	// node's own kill state). Read only from node i's shard.
+	killAt []sim.Time
 }
+
+// SetKillTime arms (or, with 0, disarms) the fail-stop gate for node's
+// injection port.
+func (s *Switch) SetKillTime(node int, at sim.Time) { s.killAt[node] = at }
 
 const chaosSeed = 0x5eedc0de
 
@@ -210,6 +218,7 @@ const chaosSeed = 0x5eedc0de
 func NewSwitch(engs []*sim.Engine, p SwitchParams, pools []*PacketPool, grp *sim.Group) *Switch {
 	n := len(engs)
 	s := &Switch{eng: engs[0], grp: grp, p: p, pool: pools[0], chaosRng: sim.NewRand(chaosSeed)}
+	s.killAt = make([]sim.Time, n)
 	s.ports = make([]swPort, n)
 	s.deliv = make([]func(*Packet), n)
 	for i := 0; i < n; i++ {
@@ -277,6 +286,12 @@ func (s *Switch) xferTime(bytes int) sim.Time {
 // still pays the ejection port, matching the adapter's self-send path.
 func (s *Switch) Send(pkt *Packet) {
 	pt := &s.ports[pkt.Src]
+	if at := s.killAt[pkt.Src]; at > 0 && pt.eng.Now() >= at {
+		// Fail-stopped source: anything still draining out of its adapter
+		// pipeline after the kill instant never reaches the wire.
+		pt.pool.Put(pkt)
+		return
+	}
 	if s.grp != nil {
 		pt.sent++
 	} else {

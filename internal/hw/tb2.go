@@ -208,6 +208,13 @@ func (a *TB2) rxProcDone() {
 
 func (a *TB2) dmaInDone() {
 	pkt := a.dmaInQ.Pop()
+	if a.node.Killed() {
+		// Fail-stopped destination: the host will never service its FIFO
+		// again, so the packet is gone. Not counting it as Delivered keeps
+		// delivery progress a truthful liveness signal for the watchdog.
+		a.node.Pool.Put(pkt)
+		return
+	}
 	rec := a.node.Eng.Tracer()
 	if a.recvQ.Len() >= a.recvCap {
 		a.DroppedOverflow++

@@ -22,7 +22,7 @@ func chaosRun(n int, opt mpi.Options, plan *faults.Plan,
 		c := sys.Comms[i]
 		cluster.Spawn(i, "chaos", func(p *sim.Proc, nd *hw.Node) {
 			sums[c.Rank()] = prog(p, c)
-			c.Finalize(p)
+			c.Finalize(p, 0)
 		})
 	}
 	cluster.Run()

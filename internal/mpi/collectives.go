@@ -7,23 +7,25 @@ type Req interface{ Done() bool }
 
 // PT is the point-to-point surface the generic (MPICH-style) collectives
 // and the NAS kernels program against; both MPI-AM (*mpi.Comm) and MPI-F
-// (*mpif.Comm) implement it.
+// (*mpif.Comm) implement it. Every blocking call reports failure — a dead
+// peer, an abort, an expired deadline — as a typed error instead of
+// spinning forever.
 type PT interface {
 	Rank() int
 	Size() int
 	IsendR(p *sim.Proc, data []byte, dst, tag int) Req
 	IrecvR(p *sim.Proc, buf []byte, src, tag int) Req
-	WaitR(p *sim.Proc, r Req) Status
-	SendB(p *sim.Proc, data []byte, dst, tag int)
-	RecvB(p *sim.Proc, buf []byte, src, tag int) Status
-	Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) Status
+	WaitR(p *sim.Proc, r Req) (Status, error)
+	SendB(p *sim.Proc, data []byte, dst, tag int) error
+	RecvB(p *sim.Proc, buf []byte, src, tag int) (Status, error)
+	Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) (Status, error)
 	// NextCollTag returns a fresh reserved (negative) tag; collectives are
 	// issued in the same order on every rank, so the sequence matches.
 	NextCollTag() int
 	// Alltoall exchanges chunk bytes with every rank; the implementation
 	// picks the algorithm (MPICH generic vs vendor-tuned — see Table 6's
 	// FT discussion).
-	Alltoall(p *sim.Proc, send, recv []byte, chunk int)
+	Alltoall(p *sim.Proc, send, recv []byte, chunk int) error
 }
 
 // PT adapter methods for *Comm.
@@ -39,13 +41,15 @@ func (c *Comm) IrecvR(p *sim.Proc, buf []byte, src, tag int) Req {
 }
 
 // WaitR adapts Wait to the PT interface.
-func (c *Comm) WaitR(p *sim.Proc, r Req) Status { return c.Wait(p, r.(*Request)) }
+func (c *Comm) WaitR(p *sim.Proc, r Req) (Status, error) { return c.Wait(p, r.(*Request)) }
 
 // SendB adapts Send to the PT interface.
-func (c *Comm) SendB(p *sim.Proc, data []byte, dst, tag int) { c.Send(p, data, dst, tag) }
+func (c *Comm) SendB(p *sim.Proc, data []byte, dst, tag int) error {
+	return c.Send(p, data, dst, tag)
+}
 
 // RecvB adapts Recv to the PT interface.
-func (c *Comm) RecvB(p *sim.Proc, buf []byte, src, tag int) Status {
+func (c *Comm) RecvB(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
 	return c.Recv(p, buf, src, tag)
 }
 
@@ -58,12 +62,13 @@ func (c *Comm) NextCollTag() int {
 // Alltoall for MPI-AM uses the MPICH generic algorithm: post every
 // receive, then send to ranks in identical (increasing) order everywhere —
 // the convoy pattern the paper blames for FT's MPI_Alltoall bottleneck.
-func (c *Comm) Alltoall(p *sim.Proc, send, recv []byte, chunk int) {
-	AlltoallNaive(p, c, send, recv, chunk)
+func (c *Comm) Alltoall(p *sim.Proc, send, recv []byte, chunk int) error {
+	return AlltoallNaive(p, c, send, recv, chunk)
 }
 
-// Barrier blocks until all ranks arrive (binomial gather + broadcast).
-func Barrier(p *sim.Proc, c PT) {
+// Barrier blocks until all ranks arrive (binomial gather + broadcast). A
+// failure anywhere in the tree propagates out as the typed error.
+func Barrier(p *sim.Proc, c PT) error {
 	tag := c.NextCollTag()
 	none := []byte{}
 	me, n := c.Rank(), c.Size()
@@ -71,24 +76,28 @@ func Barrier(p *sim.Proc, c PT) {
 	mask := 1
 	for mask < n {
 		if me&mask != 0 {
-			c.SendB(p, none, me-mask, tag)
+			if err := c.SendB(p, none, me-mask, tag); err != nil {
+				return err
+			}
 			break
 		}
 		if me+mask < n {
-			c.RecvB(p, none, me+mask, tag)
+			if _, err := c.RecvB(p, none, me+mask, tag); err != nil {
+				return err
+			}
 		}
 		mask <<= 1
 	}
 	// Release down the tree.
-	bcastBinomial(p, c, none, 0, c.NextCollTag())
+	return bcastBinomial(p, c, none, 0, c.NextCollTag())
 }
 
 // Bcast broadcasts buf (significant at root) over a binomial tree.
-func Bcast(p *sim.Proc, c PT, buf []byte, root int) {
-	bcastBinomial(p, c, buf, root, c.NextCollTag())
+func Bcast(p *sim.Proc, c PT, buf []byte, root int) error {
+	return bcastBinomial(p, c, buf, root, c.NextCollTag())
 }
 
-func bcastBinomial(p *sim.Proc, c PT, buf []byte, root, tag int) {
+func bcastBinomial(p *sim.Proc, c PT, buf []byte, root, tag int) error {
 	me, n := c.Rank(), c.Size()
 	rel := (me - root + n) % n
 	// Receive from parent.
@@ -99,7 +108,9 @@ func bcastBinomial(p *sim.Proc, c PT, buf []byte, root, tag int) {
 		}
 		mask >>= 1
 		parent := (rel - mask + root) % n
-		c.RecvB(p, buf, parent, tag)
+		if _, err := c.RecvB(p, buf, parent, tag); err != nil {
+			return err
+		}
 	}
 	// Forward to children.
 	mask := 1
@@ -109,9 +120,12 @@ func bcastBinomial(p *sim.Proc, c PT, buf []byte, root, tag int) {
 	for ; mask < n; mask <<= 1 {
 		child := rel + mask
 		if child < n {
-			c.SendB(p, buf, (child+root)%n, tag)
+			if err := c.SendB(p, buf, (child+root)%n, tag); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // Op combines src into dst element-wise (caller fixes the element type).
@@ -119,7 +133,7 @@ type Op func(dst, src []byte)
 
 // Reduce combines every rank's send into recv at root (binomial tree).
 // send and recv must be the same length; recv may be nil on non-roots.
-func Reduce(p *sim.Proc, c PT, send, recv []byte, root int, op Op) {
+func Reduce(p *sim.Proc, c PT, send, recv []byte, root int, op Op) error {
 	tag := c.NextCollTag()
 	me, n := c.Rank(), c.Size()
 	rel := (me - root + n) % n
@@ -129,12 +143,16 @@ func Reduce(p *sim.Proc, c PT, send, recv []byte, root int, op Op) {
 	for mask < n {
 		if rel&mask != 0 {
 			parent := ((rel &^ mask) + root) % n
-			c.SendB(p, acc, parent, tag)
+			if err := c.SendB(p, acc, parent, tag); err != nil {
+				return err
+			}
 			break
 		}
 		if rel+mask < n {
 			child := (rel + mask + root) % n
-			c.RecvB(p, tmp, child, tag)
+			if _, err := c.RecvB(p, tmp, child, tag); err != nil {
+				return err
+			}
 			op(acc, tmp)
 		}
 		mask <<= 1
@@ -142,25 +160,27 @@ func Reduce(p *sim.Proc, c PT, send, recv []byte, root int, op Op) {
 	if me == root {
 		copy(recv, acc)
 	}
+	return nil
 }
 
 // Allreduce is MPICH-style: Reduce to 0, then Bcast.
-func Allreduce(p *sim.Proc, c PT, send, recv []byte, op Op) {
+func Allreduce(p *sim.Proc, c PT, send, recv []byte, op Op) error {
 	if len(recv) != len(send) {
 		panic("mpi: Allreduce buffer length mismatch")
 	}
-	Reduce(p, c, send, recv, 0, op)
-	Bcast(p, c, recv, 0)
+	if err := Reduce(p, c, send, recv, 0, op); err != nil {
+		return err
+	}
+	return Bcast(p, c, recv, 0)
 }
 
 // Gather collects chunk bytes from each rank into recv (rank-ordered) at
 // root; MPICH basic: linear receives at the root.
-func Gather(p *sim.Proc, c PT, send, recv []byte, root int) {
+func Gather(p *sim.Proc, c PT, send, recv []byte, root int) error {
 	tag := c.NextCollTag()
 	me, n := c.Rank(), c.Size()
 	if me != root {
-		c.SendB(p, send, root, tag)
-		return
+		return c.SendB(p, send, root, tag)
 	}
 	chunk := len(send)
 	copy(recv[me*chunk:], send)
@@ -168,39 +188,47 @@ func Gather(p *sim.Proc, c PT, send, recv []byte, root int) {
 		if r == root {
 			continue
 		}
-		c.RecvB(p, recv[r*chunk:(r+1)*chunk], r, tag)
+		if _, err := c.RecvB(p, recv[r*chunk:(r+1)*chunk], r, tag); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Scatter distributes rank-ordered chunks of send (at root) into recv.
-func Scatter(p *sim.Proc, c PT, send, recv []byte, root int) {
+func Scatter(p *sim.Proc, c PT, send, recv []byte, root int) error {
 	tag := c.NextCollTag()
 	me, n := c.Rank(), c.Size()
 	chunk := len(recv)
 	if me != root {
-		c.RecvB(p, recv, root, tag)
-		return
+		_, err := c.RecvB(p, recv, root, tag)
+		return err
 	}
 	copy(recv, send[me*chunk:(me+1)*chunk])
 	for r := 0; r < n; r++ {
 		if r == root {
 			continue
 		}
-		c.SendB(p, send[r*chunk:(r+1)*chunk], r, tag)
+		if err := c.SendB(p, send[r*chunk:(r+1)*chunk], r, tag); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Allgather is Gather to 0 followed by Bcast (MPICH basic).
-func Allgather(p *sim.Proc, c PT, send, recv []byte) {
-	Gather(p, c, send, recv, 0)
-	Bcast(p, c, recv, 0)
+func Allgather(p *sim.Proc, c PT, send, recv []byte) error {
+	if err := Gather(p, c, send, recv, 0); err != nil {
+		return err
+	}
+	return Bcast(p, c, recv, 0)
 }
 
 // AlltoallNaive is the MPICH generic all-to-all: all receives posted, then
 // sends issued to ranks 0,1,2,... identically on every rank, which convoys
 // every processor onto the same destination at once (the paper's FT
 // complaint).
-func AlltoallNaive(p *sim.Proc, c PT, send, recv []byte, chunk int) {
+func AlltoallNaive(p *sim.Proc, c PT, send, recv []byte, chunk int) error {
 	tag := c.NextCollTag()
 	me, n := c.Rank(), c.Size()
 	reqs := make([]Req, 0, 2*n)
@@ -217,15 +245,19 @@ func AlltoallNaive(p *sim.Proc, c PT, send, recv []byte, chunk int) {
 		}
 		reqs = append(reqs, c.IsendR(p, send[r*chunk:(r+1)*chunk], r, tag))
 	}
+	var first error
 	for _, r := range reqs {
-		c.WaitR(p, r)
+		if _, err := c.WaitR(p, r); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // AlltoallPairwise spreads the communication: in step k every rank
 // exchanges with rank^k (power-of-two) or (rank±k) mod n, avoiding the
 // convoy; this is the vendor-tuned pattern MPI-F uses.
-func AlltoallPairwise(p *sim.Proc, c PT, send, recv []byte, chunk int) {
+func AlltoallPairwise(p *sim.Proc, c PT, send, recv []byte, chunk int) error {
 	tag := c.NextCollTag()
 	me, n := c.Rank(), c.Size()
 	copy(recv[me*chunk:(me+1)*chunk], send[me*chunk:(me+1)*chunk])
@@ -234,7 +266,12 @@ func AlltoallPairwise(p *sim.Proc, c PT, send, recv []byte, chunk int) {
 		src := (me - k + n) % n
 		rr := c.IrecvR(p, recv[src*chunk:(src+1)*chunk], src, tag)
 		sr := c.IsendR(p, send[dst*chunk:(dst+1)*chunk], dst, tag)
-		c.WaitR(p, sr)
-		c.WaitR(p, rr)
+		if _, err := c.WaitR(p, sr); err != nil {
+			return err
+		}
+		if _, err := c.WaitR(p, rr); err != nil {
+			return err
+		}
 	}
+	return nil
 }

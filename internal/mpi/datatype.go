@@ -47,17 +47,20 @@ func (v Vector) Unpack(dst, packed []byte) {
 
 // SendVector packs and sends a strided region (MPICH's generic
 // non-contiguous path), charging the pack copy.
-func (c *Comm) SendVector(p *sim.Proc, src []byte, v Vector, dst, tag int) {
+func (c *Comm) SendVector(p *sim.Proc, src []byte, v Vector, dst, tag int) error {
 	packed := v.Pack(src)
 	c.node().Memcpy(p, len(packed))
-	c.Send(p, packed, dst, tag)
+	return c.Send(p, packed, dst, tag)
 }
 
 // RecvVector receives into a strided region, charging the unpack copy.
-func (c *Comm) RecvVector(p *sim.Proc, dstBuf []byte, v Vector, src, tag int) Status {
+func (c *Comm) RecvVector(p *sim.Proc, dstBuf []byte, v Vector, src, tag int) (Status, error) {
 	packed := make([]byte, v.Size())
-	st := c.Recv(p, packed, src, tag)
+	st, err := c.Recv(p, packed, src, tag)
+	if err != nil {
+		return st, err
+	}
 	v.Unpack(dstBuf, packed)
 	c.node().Memcpy(p, len(packed))
-	return st
+	return st, nil
 }

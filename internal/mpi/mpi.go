@@ -109,6 +109,7 @@ type handlers struct {
 	rts      am.HandlerID // short: rendezvous request-to-send
 	cts      am.HandlerID // short: clear-to-send (buffer address)
 	rdvData  am.HandlerID // bulk: rendezvous payload landed
+	abort    am.HandlerID // short: a peer aborted the communicator
 }
 
 // New builds MPI-AM over a fresh AM system on c.
@@ -132,9 +133,50 @@ type Status struct {
 // forever for a resend that will never come. Finalize keeps every rank
 // servicing the network until no packet anywhere in the system awaits
 // delivery or acknowledgement, making clean exit safe under faults.
-func (c *Comm) Finalize(p *sim.Proc) {
-	Barrier(p, c)
-	c.ep.Drain(p)
+//
+// budget bounds the whole call in simulated time (0 = unbounded, the
+// historical behavior). With a positive budget, a Finalize stuck behind a
+// dead or partitioned peer returns a typed error — *Error for the barrier
+// leg, *am.DrainTimeoutError naming unacked peers for the drain leg —
+// instead of wedging the rank.
+func (c *Comm) Finalize(p *sim.Proc, budget sim.Time) error {
+	prev := c.deadline
+	if budget > 0 {
+		c.deadline = c.node().Eng.Now() + budget
+	}
+	berr := Barrier(p, c)
+	var drainBudget sim.Time
+	if budget > 0 {
+		drainBudget = c.deadline - c.node().Eng.Now()
+		if drainBudget <= 0 {
+			drainBudget = 1
+		}
+	}
+	c.deadline = prev
+	derr := c.ep.Drain(p, drainBudget)
+	if berr != nil {
+		return berr
+	}
+	return derr
+}
+
+// SetDeadline arms an absolute simulated-time deadline on every blocking
+// call on this communicator (0 disarms). A call still incomplete when the
+// deadline passes returns *Error with ErrTimeout instead of spinning.
+func (c *Comm) SetDeadline(at sim.Time) { c.deadline = at }
+
+// Abort poisons this communicator and best-effort notifies every peer, whose
+// next blocking call then fails with ErrAborted.
+func (c *Comm) Abort(p *sim.Proc) {
+	if c.commErr == nil {
+		c.commErr = &Error{Code: ErrAborted, Rank: c.Rank(), Peer: c.Rank()}
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == c.Rank() {
+			continue
+		}
+		c.ep.Request(p, r, c.sys.h.abort) // dead peers just error; ignore
+	}
 }
 
 // reqKind distinguishes request types.
@@ -150,6 +192,7 @@ type Request struct {
 	kind   reqKind
 	done   bool
 	status Status
+	err    error // sticky failure; Wait reports it instead of spinning
 
 	// send state
 	dst, tag int
@@ -192,6 +235,13 @@ type Comm struct {
 	rdvSend map[uint32]*Request // rdvID -> send awaiting CTS
 	rdvRecv map[rdvKey]*Request // (src, rdvID) -> posted recv awaiting data
 	collSeq int                 // collective sequence number (tag salt)
+
+	// Failure state. peerErrs is sticky per peer (set once when the AM layer
+	// declares the peer dead); commErr poisons the whole communicator
+	// (Abort); deadline, when nonzero, bounds every blocking call.
+	peerErrs []error
+	commErr  error
+	deadline sim.Time
 
 	// Stats
 	SendsBuffered, SendsRdv, SendsHybrid int64
@@ -242,9 +292,22 @@ func newComm(s *System, ep *am.Endpoint) *Comm {
 	for i := range c.alloc {
 		c.alloc[i] = newAllocator(s.Opt)
 	}
+	c.peerErrs = make([]error, n)
+	ep.SetErrorHandler(func(p *sim.Proc, e *am.Endpoint, peer int, derr *am.PeerDeathError) {
+		if c.peerErrs[peer] == nil {
+			c.peerErrs[peer] = &Error{Code: ErrPeerDead, Rank: c.Rank(), Peer: peer, Cause: derr}
+		}
+	})
 	ep.Data = c
 	return c
 }
+
+// PeerErr reports the sticky failure recorded against rank (a fail-stop
+// declaration from the AM layer), or nil.
+func (c *Comm) PeerErr(rank int) error { return c.peerErrs[rank] }
+
+// Err reports the communicator-wide failure (an abort), or nil.
+func (c *Comm) Err() error { return c.commErr }
 
 // Rank returns this process's rank.
 func (c *Comm) Rank() int { return c.ep.ID() }

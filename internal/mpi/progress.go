@@ -123,6 +123,15 @@ func (s *System) registerHandlers() {
 		c.releaseSlot(req.slot)
 		req.done = true
 	})
+
+	// A peer called Abort: poison this rank's communicator so its next
+	// blocking call fails instead of waiting on ranks that have given up.
+	s.h.abort = s.AM.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		c := ep.Data.(*Comm)
+		if c.commErr == nil {
+			c.commErr = &Error{Code: ErrAborted, Rank: c.Rank(), Peer: tok.Src}
+		}
+	})
 }
 
 // replyFrees sends the am_reply that frees the just-consumed extent, plus
@@ -153,9 +162,11 @@ func (c *Comm) progress(p *sim.Proc) {
 		c.pendCTS = c.pendCTS[1:]
 		req := pc.req
 		req.storing = true
-		c.ep.StoreAsync(p, req.dst, hw.Addr{Seg: req.ctsSlot, Off: 0},
+		if err := c.ep.StoreAsync(p, req.dst, hw.Addr{Seg: req.ctsSlot, Off: 0},
 			req.data[req.prefix:], c.sys.h.rdvData, req.rdvID,
-			func(q *sim.Proc, e *am.Endpoint) { req.done = true })
+			func(q *sim.Proc, e *am.Endpoint) { req.done = true }); err != nil {
+			req.err = c.peerError(req.dst, err)
+		}
 	}
 	c.tick++
 	if c.tick%64 == 0 {

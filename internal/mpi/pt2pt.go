@@ -39,6 +39,10 @@ func (c *Comm) Isend(p *sim.Proc, data []byte, dst, tag int) *Request {
 		panic(fmt.Sprintf("mpi: bad destination rank %d", dst))
 	}
 	req := &Request{kind: rkSend, dst: dst, tag: tag, data: data, ctsSlot: -1}
+	if err := c.pathErr(dst); err != nil {
+		req.err = err
+		return req
+	}
 	c.node().ComputeUnscaled(p, costEnvBuild)
 	n := len(data)
 
@@ -106,11 +110,15 @@ func (c *Comm) storeBuffered(p *sim.Proc, req *Request, off int, bin bool, rdvID
 	copy(buf[envBytes:], req.data[:payload])
 	raddr := hw.Addr{Seg: c.bufSeg, Off: c.regionBase(c.Rank()) + off}
 	if rdvID == 0 {
-		c.ep.StoreAsync(p, req.dst, raddr, buf, c.sys.h.bufStore, 0,
-			func(q *sim.Proc, e *am.Endpoint) { req.done = true })
+		if err := c.ep.StoreAsync(p, req.dst, raddr, buf, c.sys.h.bufStore, 0,
+			func(q *sim.Proc, e *am.Endpoint) { req.done = true }); err != nil {
+			req.err = c.peerError(req.dst, err)
+		}
 	} else {
 		// Prefix store: the request completes when the remainder is acked.
-		c.ep.StoreAsync(p, req.dst, raddr, buf, c.sys.h.bufStore, 0, nil)
+		if err := c.ep.StoreAsync(p, req.dst, raddr, buf, c.sys.h.bufStore, 0, nil); err != nil {
+			req.err = c.peerError(req.dst, err)
+		}
 	}
 }
 
@@ -220,39 +228,121 @@ func (c *Comm) flushFreesTo(p *sim.Proc, src int) {
 	}
 }
 
+// pathErr reports the sticky failure governing traffic to/from peer, if any:
+// a communicator-wide abort, or the peer's fail-stop declaration.
+func (c *Comm) pathErr(peer int) error {
+	if c.commErr != nil {
+		return c.commErr
+	}
+	if peer >= 0 && c.peerErrs[peer] != nil {
+		return c.peerErrs[peer]
+	}
+	return nil
+}
+
+// peerError converts an AM-layer failure on traffic to peer into the typed
+// MPI error. The AM error handler fires before any call returns an error, so
+// peerErrs normally already holds the entry; the wrap is a fallback.
+func (c *Comm) peerError(peer int, cause error) error {
+	if err := c.peerErrs[peer]; err != nil {
+		return err
+	}
+	return &Error{Code: ErrPeerDead, Rank: c.Rank(), Peer: peer, Cause: cause}
+}
+
+// waitErr decides whether Wait should give up on req: the request itself
+// failed, the communicator was aborted, the involved peer is dead, or the
+// communicator deadline passed.
+func (c *Comm) waitErr(req *Request) error {
+	if req.err != nil {
+		return req.err
+	}
+	peer := -1
+	switch req.kind {
+	case rkSend:
+		peer = req.dst
+	case rkRecv:
+		if req.src != AnySource {
+			peer = req.src
+		}
+	}
+	if err := c.pathErr(peer); err != nil {
+		return err
+	}
+	if c.deadline > 0 && c.node().Eng.Now() >= c.deadline {
+		return &Error{Code: ErrTimeout, Rank: c.Rank(), Peer: peer}
+	}
+	return nil
+}
+
 // Send is the blocking standard send.
-func (c *Comm) Send(p *sim.Proc, data []byte, dst, tag int) {
+func (c *Comm) Send(p *sim.Proc, data []byte, dst, tag int) error {
 	req := c.Isend(p, data, dst, tag)
-	c.Wait(p, req)
+	_, err := c.Wait(p, req)
+	return err
 }
 
 // Recv is the blocking receive; it returns the completion status.
-func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) Status {
+func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
 	req := c.Irecv(p, buf, src, tag)
 	return c.Wait(p, req)
 }
 
-// Wait blocks until req completes, driving the progress engine.
-func (c *Comm) Wait(p *sim.Proc, req *Request) Status {
+// Wait blocks until req completes, driving the progress engine — or until
+// the operation can provably never complete (peer dead, communicator
+// aborted, deadline passed), in which case it returns the typed error
+// instead of spinning forever. The error is sticky on the request.
+func (c *Comm) Wait(p *sim.Proc, req *Request) (Status, error) {
 	for !req.done {
+		if err := c.waitErr(req); err != nil {
+			req.err = err
+			c.cancel(req)
+			return req.status, err
+		}
 		c.progress(p)
 	}
-	return req.status
+	return req.status, nil
 }
 
-// Waitall completes a set of requests.
-func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) {
-	for _, r := range reqs {
-		c.Wait(p, r)
+// cancel deregisters a failed request's still-unmatched receive posting.
+// Surviving ranks' salted tag streams desynchronize after a failure, so a
+// stale posted buffer could otherwise be matched against a later message of
+// a different size. A receive already matched to a rendezvous stays
+// registered: its buffer size was validated at match time, and in-flight
+// data may still land in it.
+func (c *Comm) cancel(req *Request) {
+	if req == nil || req.kind != rkRecv || req.done {
+		return
 	}
+	for i, r := range c.posted {
+		if r == req {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// Waitall completes a set of requests; it returns the first error but still
+// attempts every request, so survivors' completions are not lost.
+func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := c.Wait(p, r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Sendrecv performs the combined operation (used heavily by collectives
 // and the NAS kernels).
-func (c *Comm) Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) Status {
+func (c *Comm) Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) (Status, error) {
 	rr := c.Irecv(p, recvbuf, src, rtag)
 	sr := c.Isend(p, sendbuf, dst, stag)
-	c.Wait(p, sr)
+	if _, err := c.Wait(p, sr); err != nil {
+		c.cancel(rr) // don't leave a stale posting behind the failed half
+		return Status{}, err
+	}
 	return c.Wait(p, rr)
 }
 

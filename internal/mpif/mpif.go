@@ -16,6 +16,7 @@ import (
 	"spam/internal/hw"
 	"spam/internal/mpi"
 	"spam/internal/mpl"
+	"spam/internal/sim"
 )
 
 // Wildcards (same values as package mpi).
@@ -116,6 +117,32 @@ type Comm struct {
 	inflight   []*Request          // recvs with rendezvous data pending
 	scratch    [hdrBytes + EagerMax]byte
 	collSeq    int
+
+	// deadline, when nonzero, bounds every blocking call in simulated time.
+	// MPL has no fail-stop detection of its own, so the deadline is MPI-F's
+	// only defense against wedging on a dead peer.
+	deadline sim.Time
+}
+
+// SetDeadline arms an absolute simulated-time deadline on every blocking
+// call (0 disarms); an overdue call returns mpi.ErrTimeout.
+func (c *Comm) SetDeadline(at sim.Time) { c.deadline = at }
+
+// Finalize is MPI_Finalize for MPI-F: a barrier, then draining this rank's
+// queued transport sends. budget bounds the barrier in simulated time
+// (0 = unbounded).
+func (c *Comm) Finalize(p *sim.Proc, budget sim.Time) error {
+	prev := c.deadline
+	if budget > 0 {
+		c.deadline = c.node().Eng.Now() + budget
+	}
+	err := mpi.Barrier(p, c)
+	c.deadline = prev
+	if err != nil {
+		return err
+	}
+	c.ep.DrainSends(p)
+	return nil
 }
 
 // Rank returns this process's rank.

@@ -46,7 +46,7 @@ func TestSendRecvSizes(t *testing.T) {
 					c.Send(p, msg, 1, 5)
 				} else {
 					buf := make([]byte, size)
-					st := c.Recv(p, buf, 0, 5)
+					st, _ := c.Recv(p, buf, 0, 5)
 					if st.Size != size {
 						t.Errorf("status size %d", st.Size)
 					}

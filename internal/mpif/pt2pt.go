@@ -147,40 +147,59 @@ func (c *Comm) shipData(p *sim.Proc, dst int, rdvID uint32) {
 // serviced by library calls only), so returning at clear-to-send with the
 // data still queued would let the caller enter a long computation phase
 // during which no packet moves — the 16-node NAS exchange stall.
-func (c *Comm) Wait(p *sim.Proc, req *Request) mpi.Status {
+func (c *Comm) Wait(p *sim.Proc, req *Request) (mpi.Status, error) {
 	for !req.done || (req.sendH != nil && !req.sendH.Injected()) {
+		if c.deadline > 0 && c.node().Eng.Now() >= c.deadline {
+			peer := -1
+			if req.isSend {
+				peer = req.dst
+			} else if req.src != AnySource {
+				peer = req.src
+			}
+			return req.status, &mpi.Error{Code: mpi.ErrTimeout, Rank: c.Rank(), Peer: peer}
+		}
 		c.progress(p)
 	}
-	return req.status
+	return req.status, nil
 }
 
 // Send is the blocking standard send.
-func (c *Comm) Send(p *sim.Proc, data []byte, dst, tag int) {
+func (c *Comm) Send(p *sim.Proc, data []byte, dst, tag int) error {
 	req := c.Isend(p, data, dst, tag)
-	c.Wait(p, req)
+	if _, err := c.Wait(p, req); err != nil {
+		return err
+	}
 	// Blocking semantics: the source buffer must be reusable; drive the
 	// transport until our queued messages are injected.
 	c.ep.DrainSends(p)
+	return nil
 }
 
 // Recv is the blocking receive.
-func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) mpi.Status {
+func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (mpi.Status, error) {
 	req := c.Irecv(p, buf, src, tag)
 	return c.Wait(p, req)
 }
 
-// Waitall completes a set of requests.
-func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) {
+// Waitall completes a set of requests; it returns the first error but still
+// attempts every request.
+func (c *Comm) Waitall(p *sim.Proc, reqs []*Request) error {
+	var first error
 	for _, r := range reqs {
-		c.Wait(p, r)
+		if _, err := c.Wait(p, r); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Sendrecv performs the combined operation.
-func (c *Comm) Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) mpi.Status {
+func (c *Comm) Sendrecv(p *sim.Proc, sendbuf []byte, dst, stag int, recvbuf []byte, src, rtag int) (mpi.Status, error) {
 	rr := c.Irecv(p, recvbuf, src, rtag)
 	sr := c.Isend(p, sendbuf, dst, stag)
-	c.Wait(p, sr)
+	if _, err := c.Wait(p, sr); err != nil {
+		return mpi.Status{}, err
+	}
 	return c.Wait(p, rr)
 }
 
@@ -198,13 +217,15 @@ func (c *Comm) IrecvR(p *sim.Proc, buf []byte, src, tag int) mpi.Req {
 }
 
 // WaitR adapts Wait to mpi.PT.
-func (c *Comm) WaitR(p *sim.Proc, r mpi.Req) mpi.Status { return c.Wait(p, r.(*Request)) }
+func (c *Comm) WaitR(p *sim.Proc, r mpi.Req) (mpi.Status, error) { return c.Wait(p, r.(*Request)) }
 
 // SendB adapts Send to mpi.PT.
-func (c *Comm) SendB(p *sim.Proc, data []byte, dst, tag int) { c.Send(p, data, dst, tag) }
+func (c *Comm) SendB(p *sim.Proc, data []byte, dst, tag int) error {
+	return c.Send(p, data, dst, tag)
+}
 
 // RecvB adapts Recv to mpi.PT.
-func (c *Comm) RecvB(p *sim.Proc, buf []byte, src, tag int) mpi.Status {
+func (c *Comm) RecvB(p *sim.Proc, buf []byte, src, tag int) (mpi.Status, error) {
 	return c.Recv(p, buf, src, tag)
 }
 
@@ -216,8 +237,8 @@ func (c *Comm) NextCollTag() int {
 
 // Alltoall uses the vendor-tuned pairwise exchange (not MPICH's convoying
 // generic algorithm) — the concrete difference Table 6's FT row exposes.
-func (c *Comm) Alltoall(p *sim.Proc, send, recv []byte, chunk int) {
-	mpi.AlltoallPairwise(p, c, send, recv, chunk)
+func (c *Comm) Alltoall(p *sim.Proc, send, recv []byte, chunk int) error {
+	return mpi.AlltoallPairwise(p, c, send, recv, chunk)
 }
 
 var _ mpi.PT = (*Comm)(nil)

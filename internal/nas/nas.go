@@ -45,6 +45,7 @@ type Result struct {
 	Impl     string
 	Seconds  float64 // simulated wall time of the timed section
 	Checksum float64 // cross-implementation verification value
+	Errs     []error // per-rank closing-phase error (nil entries on success)
 }
 
 // Kernel is a runnable NAS kernel.
@@ -53,8 +54,19 @@ type Kernel func(p *sim.Proc, env *Env) float64
 // Run executes kernel SPMD over the given comms on cluster, with a barrier
 // fence, and returns wall seconds plus rank-0's checksum.
 func Run(cluster *hw.Cluster, comms []mpi.PT, bench, impl string, kernel Kernel) Result {
+	return RunBudget(cluster, comms, bench, impl, kernel, 0)
+}
+
+// RunBudget is Run with a bounded closing phase: once a rank leaves the
+// kernel body, budget (0 = unbounded) caps — in simulated time — its closing
+// barrier and finalize, so a rank stranded by a dead peer returns a typed
+// error in Result.Errs instead of wedging the run. The kernel body itself is
+// protected by the AM layer's fail-stop detection (every blocking MPI call
+// errors once the peer is declared dead).
+func RunBudget(cluster *hw.Cluster, comms []mpi.PT, bench, impl string, kernel Kernel, budget sim.Time) Result {
 	n := len(comms)
 	sums := make([]float64, n)
+	errs := make([]error, n)
 	var t0, t1 sim.Time
 	for i := 0; i < n; i++ {
 		i := i
@@ -66,20 +78,32 @@ func Run(cluster *hw.Cluster, comms []mpi.PT, bench, impl string, kernel Kernel)
 				t0 = p.Now()
 			}
 			sums[i] = kernel(p, env)
-			mpi.Barrier(p, c)
+			dl, hasDL := c.(interface{ SetDeadline(sim.Time) })
+			if hasDL && budget > 0 {
+				dl.SetDeadline(p.Now() + budget)
+			}
+			err := mpi.Barrier(p, c)
 			if i == 0 {
 				t1 = p.Now()
+			}
+			if hasDL && budget > 0 {
+				dl.SetDeadline(0) // Finalize arms its own budget
 			}
 			// Drain before exiting, when the comm layer supports it: under
 			// fault injection a rank must keep polling (and retransmitting)
 			// until every peer's traffic is fully acknowledged.
-			if f, ok := c.(interface{ Finalize(p *sim.Proc) }); ok {
-				f.Finalize(p)
+			if f, ok := c.(interface {
+				Finalize(p *sim.Proc, budget sim.Time) error
+			}); ok {
+				if ferr := f.Finalize(p, budget); err == nil {
+					err = ferr
+				}
 			}
+			errs[i] = err
 		})
 	}
 	cluster.Run()
-	return Result{Bench: bench, Impl: impl, Seconds: (t1 - t0).Seconds(), Checksum: sums[0]}
+	return Result{Bench: bench, Impl: impl, Seconds: (t1 - t0).Seconds(), Checksum: sums[0], Errs: errs}
 }
 
 // Float64 slice <-> byte helpers for MPI buffers.

@@ -294,6 +294,18 @@ func (g *Group) Run(horizon Time) error {
 	return nil
 }
 
+// Pending reports whether any shard still has work to execute. Run drains
+// every edge mailbox before returning at a horizon, so the shard engines'
+// own queues are the complete picture.
+func (g *Group) Pending() bool {
+	for _, e := range g.engs {
+		if e.Pending() {
+			return true
+		}
+	}
+	return false
+}
+
 // RunAll runs with no horizon and panics on deadlock, mirroring
 // Engine.RunAll.
 func (g *Group) RunAll() {

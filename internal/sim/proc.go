@@ -21,6 +21,24 @@ type Proc struct {
 // Name returns the process name given at spawn time.
 func (p *Proc) Name() string { return p.name }
 
+// Detach permanently parks the calling process and never returns. The
+// process is reclassified as a daemon — it no longer counts toward the
+// engine's live-workload total, so the run can complete (and deadlock
+// detection stays meaningful) while the goroutine stays parked forever.
+// It models a fail-stop node: the program simply ceases, mid-call, with
+// reason recorded for diagnostics.
+func (p *Proc) Detach(reason string) {
+	if !p.daemon {
+		p.daemon = true
+		p.eng.live--
+	}
+	p.parkedAt = reason
+	// No wakeup is ever scheduled: park runs the scheduler loop until the
+	// baton moves elsewhere, then blocks on the resume channel for good.
+	p.park()
+	panic("sim: detached process resumed")
+}
+
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 

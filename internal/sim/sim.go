@@ -452,6 +452,18 @@ func (e *Engine) nextTime() (Time, bool) {
 	return 0, false
 }
 
+// Live reports the number of workload (non-daemon) processes that have not
+// finished.
+func (e *Engine) Live() int { return e.live }
+
+// Pending reports whether the engine still has work to execute: a queued
+// event, a runnable process, or a pending handoff. After Run returned at a
+// horizon it distinguishes "paused" from "finished".
+func (e *Engine) Pending() bool {
+	_, ok := e.nextTime()
+	return ok
+}
+
 // RunAll runs with no horizon and panics on deadlock; it is the common form
 // for benchmarks and examples where a deadlock is a programming error.
 func (e *Engine) RunAll() {

@@ -82,6 +82,7 @@ func (t *mplTransport) ID() int            { return t.ep.ID() }
 func (t *mplTransport) N() int             { return t.ep.N() }
 func (t *mplTransport) LocalMem() []byte   { return t.mem }
 func (t *mplTransport) StoredBytes() int64 { return t.stored }
+func (t *mplTransport) Err() error         { return nil } // MPL has no fail-stop detection
 
 func (t *mplTransport) SetCtlHandler(fn func(p *sim.Proc, src int, a, b uint64)) {
 	t.ctlFn = fn

@@ -51,6 +51,12 @@ const (
 type RT struct {
 	T Transport
 
+	// Err is the first permanent transport failure this process observed (a
+	// peer declared dead). It is sticky: once set, every blocking runtime
+	// call returns it immediately instead of spinning on progress that can
+	// no longer happen.
+	Err error
+
 	outstanding int   // split-phase ops issued and not yet completed
 	storesSent  int64 // store payload bytes this node has issued
 
@@ -115,14 +121,29 @@ func (rt *RT) GetAsync(p *sim.Proc, gp GlobalPtr, loff, n int) {
 	rt.CommTime += p.Now() - t0
 }
 
+// failed checks for a permanent transport failure, latching it into rt.Err.
+// Blocking loops call it each spin so a peer death breaks the wait.
+func (rt *RT) failed() bool {
+	if rt.Err != nil {
+		return true
+	}
+	if err := rt.T.Err(); err != nil {
+		rt.Err = err
+		return true
+	}
+	return false
+}
+
 // Sync blocks until every split-phase operation this process issued has
-// completed (Split-C's sync()).
-func (rt *RT) Sync(p *sim.Proc) {
+// completed (Split-C's sync()), or returns the transport failure that makes
+// completion impossible.
+func (rt *RT) Sync(p *sim.Proc) error {
 	t0 := p.Now()
-	for rt.outstanding > 0 {
+	for rt.outstanding > 0 && !rt.failed() {
 		rt.T.Poll(p)
 	}
 	rt.CommTime += p.Now() - t0
+	return rt.Err
 }
 
 // Store issues Split-C's one-way store: no sender-side completion; global
@@ -136,15 +157,15 @@ func (rt *RT) Store(p *sim.Proc, gp GlobalPtr, data []byte) {
 
 // Read performs a blocking remote read of n bytes from gp into the local
 // segment at loff.
-func (rt *RT) Read(p *sim.Proc, gp GlobalPtr, loff, n int) {
+func (rt *RT) Read(p *sim.Proc, gp GlobalPtr, loff, n int) error {
 	rt.GetAsync(p, gp, loff, n)
-	rt.Sync(p)
+	return rt.Sync(p)
 }
 
 // Write performs a blocking remote write.
-func (rt *RT) Write(p *sim.Proc, gp GlobalPtr, data []byte) {
+func (rt *RT) Write(p *sim.Proc, gp GlobalPtr, data []byte) error {
 	rt.PutAsync(p, gp, data)
-	rt.Sync(p)
+	return rt.Sync(p)
 }
 
 // handleCtl is the collective-tree message handler. Word a packs
@@ -208,6 +229,9 @@ func (rt *RT) AllReduce(p *sim.Proc, op ReduceOp, val uint64) uint64 {
 	}
 	// Wait for the children's partial results.
 	for rt.upCnt[gen] < len(kids) {
+		if rt.failed() {
+			return 0
+		}
 		rt.T.Poll(p)
 	}
 	var result uint64
@@ -221,6 +245,9 @@ func (rt *RT) AllReduce(p *sim.Proc, op ReduceOp, val uint64) uint64 {
 				result = v
 				break
 			}
+			if rt.failed() {
+				return 0
+			}
 			rt.T.Poll(p)
 		}
 	}
@@ -233,8 +260,12 @@ func (rt *RT) AllReduce(p *sim.Proc, op ReduceOp, val uint64) uint64 {
 	return result
 }
 
-// Barrier blocks until every process has entered it.
-func (rt *RT) Barrier(p *sim.Proc) { rt.AllReduce(p, OpSum, 0) }
+// Barrier blocks until every process has entered it; a peer death breaks
+// the wait and surfaces as the returned error.
+func (rt *RT) Barrier(p *sim.Proc) error {
+	rt.AllReduce(p, OpSum, 0)
+	return rt.Err
+}
 
 // Scan returns the inclusive prefix reduction of val across ranks: rank i
 // receives op(val_0, ..., val_i). It runs as a gather up the collective
@@ -259,12 +290,18 @@ func (rt *RT) Scan(p *sim.Proc, op ReduceOp, val uint64) uint64 {
 				delete(rt.downOK, gen)
 				return v
 			}
+			if rt.failed() {
+				return 0
+			}
 			rt.T.Poll(p)
 		}
 	}
 	// Rank 0: collect the other n-1 contributions (tagged with rank;
 	// early contributions to the NEXT scan are kept per-generation).
 	for len(rt.scanPend[gen]) < n-1 {
+		if rt.failed() {
+			return 0
+		}
 		rt.T.Poll(p)
 	}
 	vals := rt.scanPend[gen]
@@ -280,14 +317,17 @@ func (rt *RT) Scan(p *sim.Proc, op ReduceOp, val uint64) uint64 {
 // AllStoreSync is Split-C's all_store_sync: a global barrier that also
 // guarantees every store issued anywhere has been deposited. It iterates a
 // (sent, received) global sum until the two agree.
-func (rt *RT) AllStoreSync(p *sim.Proc) {
+func (rt *RT) AllStoreSync(p *sim.Proc) error {
 	// Communication time is accumulated by the AllReduce and Poll calls
 	// themselves; wrapping them again would double-count.
 	for {
 		sent := rt.AllReduce(p, OpSum, uint64(rt.storesSent))
 		recvd := rt.AllReduce(p, OpSum, uint64(rt.T.StoredBytes()))
+		if rt.failed() {
+			return rt.Err
+		}
 		if sent == recvd {
-			break
+			return nil
 		}
 		rt.Poll(p)
 	}
@@ -296,7 +336,7 @@ func (rt *RT) AllStoreSync(p *sim.Proc) {
 // BroadcastBytes copies buf (significant on root) from root's segment
 // region [off, off+n) to the same region on every node. It is implemented
 // with stores plus a barrier, as Split-C programs typically do.
-func (rt *RT) BroadcastBytes(p *sim.Proc, root, off, n int) {
+func (rt *RT) BroadcastBytes(p *sim.Proc, root, off, n int) error {
 	if rt.ID() == root {
 		data := rt.Mem()[off : off+n]
 		for d := 0; d < rt.N(); d++ {
@@ -306,5 +346,5 @@ func (rt *RT) BroadcastBytes(p *sim.Proc, root, off, n int) {
 			rt.Store(p, GlobalPtr{Node: d, Off: off}, data)
 		}
 	}
-	rt.AllStoreSync(p)
+	return rt.AllStoreSync(p)
 }

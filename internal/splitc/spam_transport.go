@@ -15,6 +15,7 @@ type spamTransport struct {
 	mem    []byte
 	ctlFn  func(p *sim.Proc, src int, a, b uint64)
 	stored int64
+	err    error // first peer-death error; sticky
 
 	// Completion-callback table for split-phase ops (index rides in the AM
 	// handler argument word).
@@ -72,6 +73,11 @@ func newSPAM(c *hw.Cluster, heapBytes int, name string) *SPAMPlatform {
 		mem := make([]byte, heapBytes)
 		nd.Mem.Add(mem) // segment 0: the Split-C global heap
 		t := &spamTransport{ep: sys.EPs[i], mem: mem, h: h}
+		t.ep.SetErrorHandler(func(p *sim.Proc, e *am.Endpoint, peer int, derr *am.PeerDeathError) {
+			if t.err == nil {
+				t.err = derr
+			}
+		})
 		sys.EPs[i].Data = t
 		pl.rts = append(pl.rts, NewRT(t))
 	}
@@ -93,7 +99,7 @@ func (pl *SPAMPlatform) Run(program func(p *sim.Proc, rt *RT)) sim.Time {
 		i, rt := i, pl.rts[i]
 		pl.Cluster.Spawn(i, "splitc", func(p *sim.Proc, n *hw.Node) {
 			program(p, rt)
-			pl.Sys.EPs[i].Drain(p)
+			pl.Sys.EPs[i].Drain(p, 0)
 		})
 	}
 	pl.Cluster.Run()
@@ -107,6 +113,7 @@ func (t *spamTransport) ID() int            { return t.ep.ID() }
 func (t *spamTransport) N() int             { return t.ep.N() }
 func (t *spamTransport) LocalMem() []byte   { return t.mem }
 func (t *spamTransport) StoredBytes() int64 { return t.stored }
+func (t *spamTransport) Err() error         { return t.err }
 
 func (t *spamTransport) SetCtlHandler(fn func(p *sim.Proc, src int, a, b uint64)) {
 	t.ctlFn = fn

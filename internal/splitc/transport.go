@@ -52,6 +52,11 @@ type Transport interface {
 	// Compute charges local computation time, scaled to this machine's
 	// CPU speed relative to the SP's POWER2.
 	Compute(p *sim.Proc, d sim.Time)
+
+	// Err reports a permanent transport failure (a peer declared dead by
+	// the reliability layer), or nil. Once non-nil it never clears; the
+	// runtime's blocking operations return it instead of spinning.
+	Err() error
 }
 
 // Platform builds a cluster of transports and runs SPMD programs on it;

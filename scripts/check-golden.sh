@@ -57,6 +57,7 @@ gen figure10.txt go run ./cmd/mpi-bench -par "$par" -nodepar "$nodepar" -figure 
 gen figure11.txt go run ./cmd/mpi-bench -par "$par" -nodepar "$nodepar" -figure 11
 gen table5.txt go run ./cmd/splitc-bench -par "$par" -nodepar "$nodepar" -paper
 gen table6.txt go run ./cmd/nas-bench -par "$par" -nodepar "$nodepar"
+gen chaos-kill.txt go run ./cmd/spam-bench -par "$par" -nodepar "$nodepar" -chaos kill
 
 fail=0
 for f in "$tmp"/*; do
