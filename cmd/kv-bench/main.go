@@ -1,0 +1,88 @@
+// Command kv-bench drives the sharded KV service (internal/kv) — the
+// repo's served-workload experiment: open-loop traffic from millions of
+// virtual clients against SP Active Message servers, reported as a
+// tail-latency-vs-offered-load table in the style of the latency figures.
+//
+// Usage:
+//
+//	kv-bench                     # tail-latency sweep across the rate ladder
+//	kv-bench -rate 200e3         # single offered-load point
+//	kv-bench -chaos kill         # fail-stop a server mid-run, report failover
+//	kv-bench -json               # machine-readable saturation + tail metrics
+//
+// The run is deterministic: the same flags produce byte-identical output
+// at any -par / -nodepar setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spam/internal/bench"
+	"spam/internal/hw"
+	"spam/internal/kv"
+	"spam/internal/sim"
+)
+
+func main() {
+	servers := flag.Int("servers", 4, "server nodes")
+	nodes := flag.Int("nodes", 4, "client nodes driving the load")
+	clients := flag.Int("clients", 1_000_000, "virtual end-clients multiplexed over the client nodes")
+	rate := flag.Float64("rate", 0, "offered load in requests/s (0 = sweep the default ladder)")
+	zipf := flag.Float64("zipf", 1.1, "key-popularity skew (<= 1 uniform)")
+	keys := flag.Int("keys", 1<<16, "keyspace size")
+	reqs := flag.Int("reqs", 50_000, "requests per sweep point")
+	seed := flag.Uint64("seed", 1, "run seed")
+	chaos := flag.String("chaos", "", "chaos mode: 'kill' fail-stops a server mid-run")
+	killat := flag.Float64("killat", 5000, "kill time in us of simulated time (-chaos kill)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
+	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
+	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
+	nodepar := flag.Int("nodepar", 1, "intra-run PDES shards per cluster (1 = serial)")
+	flag.Parse()
+	bench.Par = *par
+
+	obs := bench.NewObserver(*traceOut, *metrics)
+	bench.SetNodePar(*nodepar)
+
+	base := kv.Config{
+		Servers:        *servers,
+		ClientNodes:    *nodes,
+		VirtualClients: *clients,
+		Keys:           *keys,
+		Zipf:           *zipf,
+		Requests:       *reqs,
+		Seed:           *seed,
+	}
+	rates := bench.KVDefaultRates()
+	if *rate > 0 {
+		rates = []float64{*rate}
+	}
+
+	switch {
+	case *chaos == "kill":
+		base.Rate = rates[len(rates)-1] / 2 // hold the service below saturation while failing over
+		if *rate > 0 {
+			base.Rate = *rate
+		}
+		bench.KVKillTable(os.Stdout, base, 1, []sim.Time{hw.US(*killat)})
+	case *chaos != "":
+		fmt.Fprintf(os.Stderr, "kv-bench: unknown -chaos mode %q (want kill)\n", *chaos)
+		os.Exit(2)
+	case *jsonOut:
+		check(bench.WriteJSONReport(os.Stdout, bench.KVReport(base, rates)))
+	default:
+		bench.KVTailTable(os.Stdout, base, rates)
+	}
+
+	check(obs.Finish(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kv-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spam/internal/kv"
+	"spam/internal/sim"
+)
+
+// KVPoint is one offered-load point of a kv tail-latency sweep.
+type KVPoint struct {
+	OfferedRPS float64
+	Res        *kv.Result
+}
+
+// KVDefaultRates is the offered-load ladder swept by KVTailTable: it starts
+// well below the service's saturation throughput and ends past it, so the
+// table shows both the flat region (latency == protocol floor) and the
+// open-loop queueing blow-up at the knee.
+func KVDefaultRates() []float64 {
+	return []float64{50e3, 100e3, 200e3, 400e3, 600e3}
+}
+
+// KVSweep evaluates base at each offered rate. Points are independent
+// simulations, so they fan across the sweep workers (-par); results are
+// assembled in rate order, keeping the output byte-identical to a serial
+// sweep.
+func KVSweep(base kv.Config, rates []float64) []KVPoint {
+	pts := Sweep(len(rates), func(i int) KVPoint {
+		cfg := base
+		cfg.Rate = rates[i]
+		res, err := kv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: kv sweep point %.0f rps: %v", rates[i], err))
+		}
+		return KVPoint{OfferedRPS: rates[i], Res: res}
+	})
+	return pts
+}
+
+// KVTailTable sweeps offered load against a fixed cluster and prints, per
+// rate, the achieved throughput and the open-loop latency tail. Latency is
+// measured from each request's scheduled arrival — not from its dispatch —
+// so queueing delay behind a saturated client node counts against the tail
+// (no coordinated omission).
+func KVTailTable(w io.Writer, base kv.Config, rates []float64) {
+	pts := KVSweep(base, rates)
+	fmt.Fprintf(w, "# kv-bench: open-loop tail latency vs offered load (%d servers, %d client nodes, %d virtual clients, zipf %.2f, %d keys, %d reqs/point)\n",
+		base.Servers, base.ClientNodes, maxInt(base.VirtualClients, base.ClientNodes), base.Zipf, keysOrDefault(base.Keys), base.Requests)
+	fmt.Fprintf(w, "%-12s %12s %9s %9s %9s %10s %9s %9s\n",
+		"offered_rps", "achieved_rps", "p50_us", "p99_us", "p999_us", "retries", "conflict", "unavail")
+	for _, pt := range pts {
+		r := pt.Res
+		fmt.Fprintf(w, "%-12.0f %12.0f %9.1f %9.1f %9.1f %10d %9d %9d\n",
+			pt.OfferedRPS, r.Throughput(),
+			float64(r.Lat.Quantile(0.5))/1e3,
+			float64(r.Lat.Quantile(0.99))/1e3,
+			float64(r.Lat.Quantile(0.999))/1e3,
+			r.LockRetries, r.Conflicts, r.Unavail)
+	}
+}
+
+// KVKillTable fail-stops one server mid-run at a ladder of kill times and
+// prints the failure report: detection latency (kill to the last client's
+// peer-death declaration), the unavailability window (kill to the last
+// failed-over request's completion), and the outcome split — every issued
+// request must still end in a reply or a typed error.
+func KVKillTable(w io.Writer, base kv.Config, killServer int, kills []sim.Time) {
+	pts := Sweep(len(kills), func(i int) *kv.Result {
+		cfg := base
+		cfg.KillServer = killServer
+		cfg.KillAt = kills[i]
+		res, err := kv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: kv kill point %v: %v", kills[i], err))
+		}
+		return res
+	})
+	fmt.Fprintf(w, "# kv-bench: fail-stop server %d under load (%d servers, %d client nodes, %.0f rps offered)\n",
+		killServer, base.Servers, base.ClientNodes, base.Rate)
+	fmt.Fprintf(w, "%-10s %10s %11s %9s %9s %9s %9s\n",
+		"kill_at", "detect_ms", "unavail_ms", "failover", "ok", "conflict", "unavail")
+	for i, r := range pts {
+		fmt.Fprintf(w, "%-10v %10.2f %11.2f %9d %9d %9d %9d\n",
+			kills[i],
+			float64(r.Detect)/1e6, float64(r.Unavail_)/1e6,
+			r.Failovers, r.Completed, r.Conflicts, r.Unavail)
+	}
+}
+
+// KVReport condenses a tail sweep into the machine-readable metrics the
+// regression gate tracks: the saturation throughput (best achieved rate
+// across the ladder) and the tail quantiles at the highest offered load
+// that still achieved its target.
+func KVReport(base kv.Config, rates []float64) JSONReport {
+	pts := KVSweep(base, rates)
+	r := JSONReport{Command: "kv-bench"}
+	var satur float64
+	best := pts[0]
+	for _, pt := range pts {
+		if t := pt.Res.Throughput(); t > satur {
+			satur = t
+		}
+		// The "served" point: highest offered load achieving >=99% of it.
+		if pt.Res.Throughput() >= 0.99*pt.OfferedRPS {
+			best = pt
+		}
+	}
+	r.Metrics = append(r.Metrics,
+		JSONMetric{Name: "kv_saturation", Value: satur, Unit: "req/s"},
+		JSONMetric{Name: fmt.Sprintf("kv_p50@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.5)) / 1e3, Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_p99@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.99)) / 1e3, Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_p999@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.999)) / 1e3, Unit: "us"})
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func keysOrDefault(k int) int {
+	if k <= 0 {
+		return 1 << 16
+	}
+	return k
+}

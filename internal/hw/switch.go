@@ -374,13 +374,30 @@ func (s *Switch) route(pkt *Packet) {
 	}
 }
 
+// lane maps a (src, dst) node pair to its fabric-hop ordering lane — the
+// same index the sharded constructor assigns the pair's mailbox edge (src
+// major, dst minor, self pair skipped). Serial and sharded runs must agree
+// on this number: it is the last tie-break component of a delivery's
+// ordering key.
+func (s *Switch) lane(src, dst int) uint64 {
+	if dst > src {
+		dst--
+	}
+	return uint64(src*(len(s.ports)-1) + dst)
+}
+
 // injectDone fires when the injection port finishes serializing its oldest
 // packet: the packet enters the fabric for the (constant) switch latency.
-// Constant latency plus FIFO event ordering keeps fabQ in arrival order.
+// Constant latency plus FIFO event ordering keeps fabQ in arrival order
+// (one source's hops never share a timestamp — injection serializes them).
 // In sharded mode the fabric hop is the cross-shard channel: the packet
 // arrives at the destination port exactly one switch latency — the group's
-// lookahead — later, via the barrier-drained mailbox edge, so delivery
-// timing is identical to the serial After.
+// lookahead — later, via the barrier-drained mailbox edge. The serial hop
+// is scheduled through AfterKeyed with the pair's lane so it carries the
+// identical (at, pushAt, causeAt, lane) ordering key: deliveries that tie
+// with local events or with hops from other sources break the tie the same
+// way in both modes, which is what keeps serial and -nodepar runs
+// byte-identical under many-to-one traffic.
 func (s *Switch) injectDone(pt *swPort) {
 	pkt := pt.injQ.Pop()
 	if s.grp != nil {
@@ -388,7 +405,8 @@ func (s *Switch) injectDone(pt *swPort) {
 		return
 	}
 	pt.fabQ.Push(pkt)
-	s.eng.After(s.p.Latency, pt.fabricCB)
+	n := len(s.ports)
+	s.eng.AfterKeyed(s.p.Latency, s.lane(pkt.Src, pkt.Dst), uint64(n*(n-1)), pt.fabricCB)
 }
 
 // eject serializes the packet at its destination's ejection port.

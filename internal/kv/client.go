@@ -1,0 +1,562 @@
+package kv
+
+import (
+	"spam/internal/am"
+	"spam/internal/hw"
+	"spam/internal/kv/load"
+	"spam/internal/ring"
+	"spam/internal/sim"
+	"spam/internal/trace"
+)
+
+// Request phases. Reads are one phase; writes run the percolator-lite
+// three-step (lock at the primary, commit to every live replica, unlock).
+const (
+	phRead uint8 = iota
+	phLock
+	phCommit
+	phUnlock
+)
+
+// What to do once the unlock phase drains.
+const (
+	auComplete uint8 = iota // commit done: terminal success
+	auRetry                 // aborted (denial or failover): retry the lock phase
+	auFail                  // terminal with slot.status (e.g. Unavailable)
+)
+
+// reqSlot is one in-flight operation. Slots live in a fixed array; the
+// request id wire word encodes (generation, slot, sub-request), so replies
+// route back without any allocation or map lookup.
+type reqSlot struct {
+	active     bool
+	pendingAdv bool // queued on the ready ring (dedup)
+	failed     bool // a peer death resolved part of this phase
+	denied     bool // a lock in this round was denied
+	commitDone bool
+	failedOver bool // the op survived at least one replica death
+	op         load.Op
+	phase      uint8
+	afterUnlock uint8
+	nkeys      uint8
+	attempts   uint16
+	await      int8
+	gen        uint32
+	txn        uint32
+	status     uint8
+	keys       [maxKeys]uint32
+	val        uint32
+	granted    [maxKeys]bool
+	grantSrv   [maxKeys]int8
+	tgt        [maxTargets]int8 // sub -> server awaiting reply, -1 = resolved
+	arrive     sim.Time
+}
+
+type retryEnt struct {
+	si uint32
+	at sim.Time
+}
+
+// ClientStats is one client node's deterministic accounting.
+type ClientStats struct {
+	Completed, NotFound          int64
+	ConflictGiveups, Unavailable int64
+	Gets, Puts, Deletes, Batches int64
+	LockRetries, Failovers       int64
+	Deferrals                    int64
+
+	Lat, LatGet, LatWrite trace.Histogram
+
+	DetectAt         sim.Time // latest peer-death declaration observed
+	LastFailoverDone sim.Time // latest completion of a failed-over op
+	FinishAt         sim.Time
+}
+
+// client drives one client node: open-loop arrivals from its forked load
+// generator, a slot pool of in-flight operations, and a per-server
+// outstanding cap (below the AM request window) so a send toward a
+// dead-but-undeclared server can never block the whole node.
+type client struct {
+	svc *Service
+	idx int
+	ep  *am.Endpoint
+	gen *load.Gen
+
+	slots  []reqSlot
+	free   ring.Ring[uint32]
+	ready  ring.Ring[uint32]   // phases drained; advance in the main loop
+	defq   ring.Ring[uint32]   // dispatches deferred on the in-flight cap
+	retryq ring.Ring[retryEnt] // lock retries; fixed backoff keeps FIFO = time order
+
+	inflight []int32 // per server
+	need     []int32 // dispatch scratch
+	dead     []bool  // per server, set by the peer-death handler
+
+	budget, issued, finished int
+	nextAt                   sim.Time
+
+	st ClientStats
+}
+
+func newClient(svc *Service, idx int, ep *am.Endpoint, budget int, vlo, vn uint32) *client {
+	cfg := svc.cfg
+	seed := cfg.Seed + uint64(idx)*0x9E3779B97F4A7C15 + 1
+	cl := &client{
+		svc:      svc,
+		idx:      idx,
+		ep:       ep,
+		gen:      load.NewGen(seed, cfg.Rate/float64(cfg.ClientNodes), cfg.Keys, cfg.Zipf, cfg.Mix, vlo, vn),
+		slots:    make([]reqSlot, cfg.Slots),
+		inflight: make([]int32, cfg.Servers),
+		need:     make([]int32, cfg.Servers),
+		dead:     make([]bool, cfg.Servers),
+		budget:   budget,
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		cl.free.Push(uint32(i))
+	}
+	return cl
+}
+
+// run is the client node's program: issue arrivals on schedule, advance
+// phase transitions flagged by the reply handler, retry aborted locks, and
+// poll the network. The loop always advances simulated time (every
+// iteration ends in a Poll), so it cannot spin.
+func (cl *client) run(p *sim.Proc, n *hw.Node) {
+	cl.nextAt = p.Now() + cl.gen.NextGap()
+	for cl.finished < cl.budget {
+		now := p.Now()
+		for cl.ready.Len() > 0 {
+			cl.advance(p, cl.ready.Pop())
+		}
+		for cl.retryq.Len() > 0 && cl.retryq.Peek().at <= now {
+			cl.dispatch(p, cl.retryq.Pop().si)
+		}
+		for k := cl.defq.Len(); k > 0; k-- {
+			cl.dispatch(p, cl.defq.Pop())
+		}
+		for cl.issued < cl.budget && cl.nextAt <= now && cl.free.Len() > 0 {
+			cl.startOp(p)
+		}
+		if cl.finished >= cl.budget {
+			break
+		}
+		cl.ep.Poll(p)
+	}
+	cl.st.FinishAt = p.Now()
+	// Announce completion so the servers can quiesce; a server already
+	// declared dead is skipped, one killed-but-undeclared resolves during
+	// the drain via the keep-alive ladder.
+	for srv := 0; srv < cl.svc.cfg.Servers; srv++ {
+		if cl.dead[srv] {
+			continue
+		}
+		cl.ep.Request(p, srv, cl.svc.hDone, uint32(cl.idx))
+	}
+	cl.ep.Drain(p, 0)
+}
+
+// startOp consumes the next scheduled arrival. The draw order (gap, op,
+// key, value, virtual client) is fixed per request, and nextAt accumulates
+// gaps regardless of service progress — the schedule never depends on
+// completions, which is what makes the load open-loop.
+func (cl *client) startOp(p *sim.Proc) {
+	si := cl.free.Pop()
+	s := &cl.slots[si]
+	arrive := cl.nextAt
+	cl.nextAt += cl.gen.NextGap()
+	op := cl.gen.NextOp()
+	key := cl.gen.NextKey()
+	val := cl.gen.NextValue()
+	cl.gen.NextClient() // attribute the request to a virtual end-client
+	gen := (s.gen + 1) & 0xFFFF
+
+	*s = reqSlot{active: true, op: op, arrive: arrive, gen: gen, val: val, nkeys: 1}
+	s.txn = 1<<31 | uint32(cl.idx)<<12 | si
+	s.keys[0] = key
+	for i := range s.tgt {
+		s.tgt[i] = -1
+	}
+	cl.issued++
+	switch op {
+	case load.OpGet:
+		cl.st.Gets++
+		s.phase = phRead
+	case load.OpPut:
+		cl.st.Puts++
+		s.phase = phLock
+	case load.OpDelete:
+		cl.st.Deletes++
+		s.phase = phLock
+	default: // Batch: an atomic put of the key's even/odd pair
+		cl.st.Batches++
+		s.phase = phLock
+		s.nkeys = 2
+		s.keys[0] = key &^ 1
+		s.keys[1] = key | 1
+	}
+	cl.dispatch(p, si)
+}
+
+// primary returns the first live replica of shard sh, or -1.
+func (cl *client) primary(sh int) int {
+	for i := 0; i < cl.svc.cfg.Replicas; i++ {
+		if srv := cl.svc.replicaSrv(sh, i); !cl.dead[srv] {
+			return srv
+		}
+	}
+	return -1
+}
+
+// reserve checks the per-server in-flight cap for every target of the
+// phase about to be sent (all-or-nothing); on failure the slot parks on the
+// deferral queue and is retried next loop iteration.
+func (cl *client) reserve(si uint32, targets []int8, n int) bool {
+	cap32 := int32(cl.svc.cfg.InflightCap)
+	for i := 0; i < n; i++ {
+		cl.need[targets[i]]++
+	}
+	ok := true
+	for i := 0; i < n; i++ {
+		t := targets[i]
+		if cl.inflight[t]+cl.need[t] > cap32 {
+			ok = false
+		}
+		cl.need[t] = 0
+	}
+	if !ok {
+		cl.st.Deferrals++
+		cl.defq.Push(si)
+	}
+	return ok
+}
+
+// arm registers sub-request sub of slot si as outstanding toward srv and
+// returns the wire request id.
+func (cl *client) arm(si uint32, sub, srv int) uint32 {
+	s := &cl.slots[si]
+	s.tgt[sub] = int8(srv)
+	s.await++
+	cl.inflight[srv]++
+	return s.gen<<16 | si<<4 | uint32(sub)
+}
+
+// post handles a Request error (the peer was declared dead in the send
+// path): the sub-request resolves as failed unless the death handler beat
+// us to it.
+func (cl *client) post(si uint32, sub, srv int, err error) {
+	if err == nil {
+		return
+	}
+	s := &cl.slots[si]
+	if s.tgt[sub] == int8(srv) {
+		s.tgt[sub] = -1
+		s.await--
+		cl.inflight[srv]--
+		s.failed = true
+	}
+}
+
+// dispatch sends the slot's current phase. It is called from the main loop
+// only (never from handlers), so it may issue blocking Requests.
+func (cl *client) dispatch(p *sim.Proc, si uint32) {
+	s := &cl.slots[si]
+	var targets [maxTargets]int8
+	switch s.phase {
+	case phRead:
+		sh := cl.svc.shardOf(s.keys[0])
+		t := cl.primary(sh)
+		if t < 0 {
+			cl.terminal(p, si, StatusUnavailable)
+			return
+		}
+		targets[0] = int8(t)
+		if !cl.reserve(si, targets[:], 1) {
+			return
+		}
+		reqID := cl.arm(si, 0, t)
+		cl.post(si, 0, t, cl.ep.Request(p, t, cl.svc.hGet, reqID, s.keys[0]))
+
+	case phLock:
+		nk := int(s.nkeys)
+		for i := 0; i < nk; i++ {
+			t := cl.primary(cl.svc.shardOf(s.keys[i]))
+			if t < 0 {
+				cl.terminal(p, si, StatusUnavailable)
+				return
+			}
+			targets[i] = int8(t)
+		}
+		if !cl.reserve(si, targets[:], nk) {
+			return
+		}
+		s.denied, s.failed, s.commitDone = false, false, false
+		s.granted = [maxKeys]bool{}
+		s.attempts++
+		for i := 0; i < nk; i++ {
+			t := int(targets[i])
+			s.grantSrv[i] = int8(t)
+			reqID := cl.arm(si, i, t)
+			cl.post(si, i, t, cl.ep.Request(p, t, cl.svc.hLock, reqID, s.txn, s.keys[i]))
+		}
+
+	case phCommit:
+		R := cl.svc.cfg.Replicas
+		n := 0
+		var subs [maxTargets]int
+		for i := 0; i < int(s.nkeys); i++ {
+			sh := cl.svc.shardOf(s.keys[i])
+			live := 0
+			for r := 0; r < R; r++ {
+				srv := cl.svc.replicaSrv(sh, r)
+				if cl.dead[srv] {
+					continue
+				}
+				subs[n] = i*maxReplicas + r
+				targets[n] = int8(srv)
+				n++
+				live++
+			}
+			if live == 0 {
+				// The shard vanished between lock and commit: unlock
+				// whatever is still held, then fail typed.
+				s.status = uint8(StatusUnavailable)
+				s.afterUnlock = auFail
+				s.phase = phUnlock
+				cl.dispatch(p, si)
+				return
+			}
+		}
+		if !cl.reserve(si, targets[:], n) {
+			return
+		}
+		s.failed = false
+		h := cl.svc.hCommitPut
+		if s.op == load.OpDelete {
+			h = cl.svc.hCommitDel
+		}
+		for j := 0; j < n; j++ {
+			t := int(targets[j])
+			i := subs[j] / maxReplicas
+			reqID := cl.arm(si, subs[j], t)
+			var err error
+			if s.op == load.OpDelete {
+				err = cl.ep.Request(p, t, h, reqID, s.txn, s.keys[i])
+			} else {
+				err = cl.ep.Request(p, t, h, reqID, s.txn, s.keys[i], s.val)
+			}
+			cl.post(si, subs[j], t, err)
+		}
+
+	case phUnlock:
+		n := 0
+		var subs [maxTargets]int
+		for i := 0; i < int(s.nkeys); i++ {
+			if s.granted[i] && !cl.dead[s.grantSrv[i]] {
+				subs[n] = i
+				targets[n] = s.grantSrv[i]
+				n++
+			}
+		}
+		if n == 0 {
+			cl.finishUnlock(p, si)
+			return
+		}
+		if !cl.reserve(si, targets[:], n) {
+			return
+		}
+		s.failed = false
+		for j := 0; j < n; j++ {
+			t := int(targets[j])
+			i := subs[j]
+			reqID := cl.arm(si, i, t)
+			cl.post(si, i, t, cl.ep.Request(p, t, cl.svc.hUnlock, reqID, s.txn, s.keys[i]))
+		}
+	}
+	if s := &cl.slots[si]; s.active && s.await == 0 {
+		cl.markReady(si)
+	}
+}
+
+// markReady queues the slot for a phase transition in the main loop
+// (handlers must not send, so they flag and return).
+func (cl *client) markReady(si uint32) {
+	s := &cl.slots[si]
+	if !s.pendingAdv {
+		s.pendingAdv = true
+		cl.ready.Push(si)
+	}
+}
+
+// onResp is the shared reply handler: route by the request id, account the
+// resolved sub-request, and flag the slot when the phase has drained.
+func (cl *client) onResp(args []uint32) {
+	reqID, status, val := args[0], args[1], args[2]
+	sub := int(reqID & 0xF)
+	si := (reqID >> 4) & 0xFFF
+	gen := reqID >> 16
+	s := &cl.slots[si]
+	if !s.active || s.gen != gen || s.tgt[sub] < 0 {
+		return // stale: the slot moved on (peer-death resolution beat the reply)
+	}
+	srv := int(s.tgt[sub])
+	s.tgt[sub] = -1
+	s.await--
+	cl.inflight[srv]--
+	switch s.phase {
+	case phRead:
+		s.status = uint8(status)
+		s.val = val
+	case phLock:
+		if status == StatusOK {
+			s.granted[sub] = true
+		} else {
+			s.denied = true
+		}
+	}
+	if s.await == 0 {
+		cl.markReady(si)
+	}
+}
+
+// advance runs one phase transition for a drained slot.
+func (cl *client) advance(p *sim.Proc, si uint32) {
+	s := &cl.slots[si]
+	if !s.active || !s.pendingAdv {
+		return
+	}
+	s.pendingAdv = false
+	if s.await > 0 {
+		return // flagged mid-dispatch; the last resolver re-flags
+	}
+	switch s.phase {
+	case phRead:
+		if s.failed {
+			s.failed = false
+			s.failedOver = true
+			cl.dispatch(p, si) // re-route to the next live replica
+			return
+		}
+		cl.terminal(p, si, uint32(s.status))
+	case phLock:
+		if s.failed || s.denied {
+			if s.failed {
+				s.failedOver = true
+			}
+			if s.denied {
+				cl.st.LockRetries++
+			}
+			s.afterUnlock = auRetry
+			s.phase = phUnlock
+			cl.dispatch(p, si)
+			return
+		}
+		s.phase = phCommit
+		cl.dispatch(p, si)
+	case phCommit:
+		if s.failed {
+			// A replica died mid-commit: abort and redo the whole write
+			// against the survivors (commits are idempotent).
+			s.failedOver = true
+			s.afterUnlock = auRetry
+			s.phase = phUnlock
+			cl.dispatch(p, si)
+			return
+		}
+		s.commitDone = true
+		s.afterUnlock = auComplete
+		s.phase = phUnlock
+		cl.dispatch(p, si)
+	case phUnlock:
+		cl.finishUnlock(p, si)
+	}
+}
+
+// finishUnlock completes the unlock phase (possibly vacuous) and performs
+// the queued continuation: terminal success, typed failure, or a backoff
+// retry of the lock phase.
+func (cl *client) finishUnlock(p *sim.Proc, si uint32) {
+	s := &cl.slots[si]
+	s.granted = [maxKeys]bool{}
+	switch s.afterUnlock {
+	case auComplete:
+		cl.terminal(p, si, StatusOK)
+	case auFail:
+		cl.terminal(p, si, uint32(s.status))
+	default: // auRetry
+		if int(s.attempts) >= cl.svc.cfg.MaxAttempts {
+			cl.terminal(p, si, StatusConflict)
+			return
+		}
+		s.phase = phLock
+		cl.retryq.Push(retryEnt{si: si, at: p.Now() + cl.svc.cfg.RetryBackoff})
+	}
+}
+
+// terminal retires the slot with its outcome. Latency is open-loop: from
+// the scheduled arrival (not the issue time), so queueing delay, retries,
+// and failover stalls all count — no coordinated omission.
+func (cl *client) terminal(p *sim.Proc, si uint32, status uint32) {
+	s := &cl.slots[si]
+	now := p.Now()
+	switch status {
+	case StatusOK, StatusNotFound:
+		cl.st.Completed++
+		if status == StatusNotFound {
+			cl.st.NotFound++
+		}
+		lat := int64(now - s.arrive)
+		cl.st.Lat.Observe(lat)
+		if s.op == load.OpGet {
+			cl.st.LatGet.Observe(lat)
+		} else {
+			cl.st.LatWrite.Observe(lat)
+		}
+	case StatusConflict:
+		cl.st.ConflictGiveups++
+	case StatusUnavailable:
+		cl.st.Unavailable++
+	}
+	if s.failedOver {
+		cl.st.Failovers++
+		if now > cl.st.LastFailoverDone {
+			cl.st.LastFailoverDone = now
+		}
+	}
+	s.active = false
+	cl.finished++
+	cl.free.Push(si)
+}
+
+// onPeerDeath is the endpoint's *am.PeerDeathError observer. It runs inside
+// Poll, so it only marks state: the dead server is excluded from routing,
+// and every sub-request outstanding toward it resolves as failed (the main
+// loop then re-routes those operations to the surviving replicas).
+func (cl *client) onPeerDeath(p *sim.Proc, ep *am.Endpoint, peer int, err *am.PeerDeathError) {
+	if peer >= cl.svc.cfg.Servers {
+		return
+	}
+	if !cl.dead[peer] {
+		cl.dead[peer] = true
+		if t := p.Now(); t > cl.st.DetectAt {
+			cl.st.DetectAt = t
+		}
+	}
+	for i := range cl.slots {
+		s := &cl.slots[i]
+		if !s.active || s.await == 0 {
+			continue
+		}
+		for sub := range s.tgt {
+			if s.tgt[sub] == int8(peer) {
+				s.tgt[sub] = -1
+				s.await--
+				cl.inflight[peer]--
+				s.failed = true
+			}
+		}
+		if s.await == 0 {
+			cl.markReady(uint32(i))
+		}
+	}
+}

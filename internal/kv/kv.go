@@ -1,0 +1,469 @@
+// Package kv is a sharded key-value service whose RPC transport is the SP
+// Active Message layer: the first layer in the repo that *serves* traffic
+// rather than benchmarking echoes. Server nodes own hash-sharded keyspace
+// partitions with per-shard latch tables (see latches.go); clients drive
+// deterministic open-loop load (internal/kv/load) against them and record
+// per-request latency into trace log2 histograms.
+//
+// Every operation is a short-message conversation within the GAM handler
+// rules — request handlers may only reply, so all multi-step coordination
+// is client-driven:
+//
+//   - Get: one request to the shard's primary replica.
+//   - Put/Delete: a percolator-lite mini-transaction — try-lock the key at
+//     its primary, commit the value to every live replica, unlock. The
+//     primary latch serializes writers per key, so replicas converge.
+//   - Batch: the same two-phase protocol over multiple keys; any lock
+//     denial aborts (unlocking granted latches) and retries after a fixed
+//     backoff, so there is no distributed blocking and no deadlock.
+//
+// Fail-stop servers are detected by the AM layer's adaptive keep-alive
+// ladder; the client's *am.PeerDeathError handler resolves every in-flight
+// sub-request toward the dead peer and the operation restarts against the
+// surviving replicas (commits are idempotent). Requests whose shard has no
+// live replica left terminate with a typed Unavailable outcome — every
+// request ends in a reply or a typed error in bounded simulated time.
+package kv
+
+import (
+	"fmt"
+
+	"spam/internal/am"
+	"spam/internal/hw"
+	"spam/internal/kv/load"
+	"spam/internal/sim"
+	"spam/internal/trace"
+)
+
+// Outcome statuses. OK/NotFound/Locked travel on the wire in replies;
+// Conflict and Unavailable are client-side terminal outcomes.
+const (
+	StatusOK          uint32 = 0
+	StatusNotFound    uint32 = 1
+	StatusLocked      uint32 = 2
+	StatusConflict    uint32 = 3 // gave up after MaxAttempts lock rounds
+	StatusUnavailable uint32 = 4 // no live replica for a needed shard
+)
+
+// Config describes one kv run: the cluster shape, the keyspace sharding,
+// the offered load, and the optional mid-run server kill.
+type Config struct {
+	Servers     int // server nodes (node ids 0..Servers-1)
+	ClientNodes int // client nodes (node ids Servers..Servers+ClientNodes-1)
+
+	ShardsPerServer int // keyspace partitions per server (default 8)
+	Replicas        int // replicas per shard (default 2, clamped to Servers)
+	Keys            int // keyspace size (default 1<<16)
+
+	Rate           float64  // aggregate offered load, requests/s of simulated time
+	Requests       int      // total requests to issue across all client nodes
+	Zipf           float64  // key-popularity skew (<= 1 selects uniform)
+	Mix            load.Mix // operation mix (zero value selects load.DefaultMix)
+	VirtualClients int      // simulated end-clients multiplexed over the client nodes
+
+	Seed uint64 // run seed (default 1); client node i forks a derived stream
+
+	Slots        int      // in-flight request slots per client node (default 256, max 4096)
+	InflightCap  int      // per-server outstanding cap per client (default 64 < request window 72)
+	RetryBackoff sim.Time // lock-denial retry delay (default 20us)
+	MaxAttempts  int      // lock rounds before a Conflict give-up (default 64)
+
+	KillServer int      // server to fail-stop mid-run (-1 = none)
+	KillAt     sim.Time // kill time
+
+	NodePar  int      // intra-run PDES shards (0 = hw.DefaultNodePar)
+	Watchdog sim.Time // RunChecked no-progress budget (default 200ms)
+}
+
+// withDefaults fills the zero values and validates the shape.
+func (c Config) withDefaults() (Config, error) {
+	if c.Servers < 1 || c.ClientNodes < 1 {
+		return c, fmt.Errorf("kv: need at least 1 server and 1 client node (got %d/%d)", c.Servers, c.ClientNodes)
+	}
+	if c.ShardsPerServer <= 0 {
+		c.ShardsPerServer = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Servers {
+		c.Replicas = c.Servers
+	}
+	if c.Replicas > maxReplicas {
+		c.Replicas = maxReplicas
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1 << 16
+	}
+	if c.Rate <= 0 {
+		return c, fmt.Errorf("kv: Rate must be positive")
+	}
+	if c.Requests <= 0 {
+		return c, fmt.Errorf("kv: Requests must be positive")
+	}
+	if c.Mix == (load.Mix{}) {
+		c.Mix = load.DefaultMix()
+	}
+	if c.VirtualClients <= 0 {
+		c.VirtualClients = c.ClientNodes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Slots <= 0 {
+		c.Slots = 256
+	}
+	if c.Slots > maxSlots {
+		return c, fmt.Errorf("kv: Slots %d exceeds max %d", c.Slots, maxSlots)
+	}
+	if c.InflightCap <= 0 {
+		c.InflightCap = 64
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = hw.US(20)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 64
+	}
+	if c.KillServer == 0 && c.KillAt == 0 {
+		c.KillServer = -1 // zero value means "no kill"
+	}
+	if c.KillServer >= c.Servers {
+		return c, fmt.Errorf("kv: KillServer %d out of range", c.KillServer)
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 200 * hw.US(1000)
+	}
+	return c, nil
+}
+
+// amOptions tunes the AM keep-alive ladder for a serving workload: a busy
+// client accumulates empty polls toward a dead server far more slowly than
+// an idle endpoint, so the defaults' half-second detection would stretch
+// into a very long unavailability window. Smaller thresholds keep the
+// fail-stop detection — and with it the served tail — bounded in the few-ms
+// range while staying far above any legitimate reply latency.
+func (c Config) amOptions() am.Options {
+	o := am.DefaultOptions()
+	o.KeepAlivePolls = 150
+	o.BackoffCap = 4
+	o.DeathThreshold = 6
+	return o
+}
+
+const (
+	maxSlots    = 4096 // slot index must fit the reqID encoding (12 bits)
+	maxKeys     = 2    // keys per Batch
+	maxReplicas = 3
+	maxTargets  = maxKeys * maxReplicas
+)
+
+// Service is one instantiated kv cluster: servers, clients, and the shared
+// handler table. Build with New, drive with Run, then inspect (tests use
+// CheckInvariants and ReadKey on the post-run state).
+type Service struct {
+	cfg       Config
+	cluster   *hw.Cluster
+	sys       *am.System
+	servers   []*server
+	clients   []*client
+	numShards int
+
+	hGet, hLock, hCommitPut, hCommitDel, hUnlock, hDone, hResp am.HandlerID
+}
+
+// New builds the cluster, registers the handler table, and spawns the
+// server and client processes. Call Run to execute.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	hc := hw.DefaultConfig(cfg.Servers + cfg.ClientNodes)
+	hc.Seed = cfg.Seed
+	hc.NodePar = cfg.NodePar
+	c := hw.NewCluster(hc)
+	sys := am.NewWithOptions(c, cfg.amOptions())
+	svc := &Service{
+		cfg:       cfg,
+		cluster:   c,
+		sys:       sys,
+		numShards: cfg.Servers * cfg.ShardsPerServer,
+	}
+	svc.registerHandlers()
+
+	for k := 0; k < cfg.Servers; k++ {
+		srv := newServer(svc, k, sys.EPs[k])
+		sys.EPs[k].Data = srv
+		svc.servers = append(svc.servers, srv)
+	}
+	base, extra := cfg.Requests/cfg.ClientNodes, cfg.Requests%cfg.ClientNodes
+	vbase, vextra := cfg.VirtualClients/cfg.ClientNodes, cfg.VirtualClients%cfg.ClientNodes
+	vlo := 0
+	for j := 0; j < cfg.ClientNodes; j++ {
+		budget, vn := base, vbase
+		if j < extra {
+			budget++
+		}
+		if j < vextra {
+			vn++
+		}
+		cl := newClient(svc, j, sys.EPs[cfg.Servers+j], budget, uint32(vlo), uint32(vn))
+		vlo += vn
+		sys.EPs[cfg.Servers+j].Data = cl
+		sys.EPs[cfg.Servers+j].SetErrorHandler(cl.onPeerDeath)
+		svc.clients = append(svc.clients, cl)
+	}
+	if cfg.KillServer >= 0 {
+		c.Kill(cfg.KillServer, cfg.KillAt)
+	}
+	for k := 0; k < cfg.Servers; k++ {
+		srv := svc.servers[k]
+		c.Spawn(k, "kv-server", srv.run)
+	}
+	for j := 0; j < cfg.ClientNodes; j++ {
+		cl := svc.clients[j]
+		c.Spawn(cfg.Servers+j, "kv-client", cl.run)
+	}
+	return svc, nil
+}
+
+// registerHandlers installs the SPMD handler table. Server-side handlers
+// dispatch through ep.Data (the node's *server); the reply handler through
+// the node's *client.
+func (svc *Service) registerHandlers() {
+	svc.hGet = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*server).onGet(p, ep, tok, args)
+	})
+	svc.hLock = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*server).onLock(p, ep, tok, args)
+	})
+	svc.hCommitPut = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*server).onCommitPut(p, ep, tok, args)
+	})
+	svc.hCommitDel = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*server).onCommitDel(p, ep, tok, args)
+	})
+	svc.hUnlock = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*server).onUnlock(p, ep, tok, args)
+	})
+	svc.hDone = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*server).onDone(p, ep, tok, args)
+	})
+	svc.hResp = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*client).onResp(args)
+	})
+}
+
+// mix32 is a bijective 32-bit hash (MurmurHash3 finalizer) used to spread
+// keys over shards independently of the load generator's rank scatter.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// shardOf maps a key to its shard.
+func (svc *Service) shardOf(key uint32) int {
+	return int(mix32(key) % uint32(svc.numShards))
+}
+
+// replicaSrv returns the server hosting replica i of shard sh.
+func (svc *Service) replicaSrv(sh, i int) int {
+	return (sh + i) % svc.cfg.Servers
+}
+
+// hostsShard reports whether server k holds a replica of shard sh.
+func (svc *Service) hostsShard(k, sh int) bool {
+	for i := 0; i < svc.cfg.Replicas; i++ {
+		if svc.replicaSrv(sh, i) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Result aggregates one run: per-outcome counts, latency histograms
+// (open-loop: measured from the scheduled arrival, so queueing delay and
+// failover stalls count), and the fail-stop report for kill runs. All
+// fields are deterministic — byte-identical serial vs -nodepar.
+type Result struct {
+	Issued    int64
+	Completed int64 // OK or NotFound terminal outcomes
+	NotFound  int64
+	Conflicts int64 // Conflict give-ups (typed error)
+	Unavail   int64 // Unavailable outcomes (typed error)
+
+	Gets, Puts, Deletes, Batches int64
+
+	LockRetries int64 // lock rounds lost to a denial
+	Failovers   int64 // operations that survived a replica death
+	Deferrals   int64 // dispatches deferred on the per-server in-flight cap
+
+	Lat, LatGet, LatWrite trace.Histogram
+
+	Makespan sim.Time // latest client finish time
+	Detect   sim.Time // kill runs: max detection latency across clients
+	Unavail_ sim.Time // kill runs: kill -> last failed-over request completed
+
+	ServerOps ServerOps
+	AM        am.Stats
+}
+
+// ServerOps counts operations served, summed over all servers.
+type ServerOps struct {
+	Gets, Locks, LockDenied, Commits, Deletes, Unlocks int64
+}
+
+// Throughput is the achieved request rate over the makespan.
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Completed+r.Conflicts+r.Unavail) / r.Makespan.Seconds()
+}
+
+// Run drives the simulation to completion and gathers the result. The
+// liveness watchdog converts a wedged run into an error instead of a hang.
+func (svc *Service) Run() (*Result, error) {
+	if err := svc.cluster.RunChecked(svc.cfg.Watchdog); err != nil {
+		return nil, err
+	}
+	res := svc.gather()
+	svc.foldMetrics(res)
+	return res, nil
+}
+
+// Run builds and executes cfg in one call.
+func Run(cfg Config) (*Result, error) {
+	svc, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return svc.Run()
+}
+
+// gather folds the per-client and per-server state, in fixed node order,
+// into a Result.
+func (svc *Service) gather() *Result {
+	res := &Result{}
+	var maxDetect, maxFailoverDone sim.Time
+	for _, cl := range svc.clients {
+		st := &cl.st
+		res.Issued += int64(cl.issued)
+		res.Completed += st.Completed
+		res.NotFound += st.NotFound
+		res.Conflicts += st.ConflictGiveups
+		res.Unavail += st.Unavailable
+		res.Gets += st.Gets
+		res.Puts += st.Puts
+		res.Deletes += st.Deletes
+		res.Batches += st.Batches
+		res.LockRetries += st.LockRetries
+		res.Failovers += st.Failovers
+		res.Deferrals += st.Deferrals
+		res.Lat.Merge(&st.Lat)
+		res.LatGet.Merge(&st.LatGet)
+		res.LatWrite.Merge(&st.LatWrite)
+		if st.FinishAt > res.Makespan {
+			res.Makespan = st.FinishAt
+		}
+		if st.DetectAt > maxDetect {
+			maxDetect = st.DetectAt
+		}
+		if st.LastFailoverDone > maxFailoverDone {
+			maxFailoverDone = st.LastFailoverDone
+		}
+	}
+	for _, srv := range svc.servers {
+		res.ServerOps.Gets += srv.gets
+		res.ServerOps.Locks += srv.locks
+		res.ServerOps.LockDenied += srv.lockDenied
+		res.ServerOps.Commits += srv.commits
+		res.ServerOps.Deletes += srv.deletes
+		res.ServerOps.Unlocks += srv.unlocks
+	}
+	if svc.cfg.KillServer >= 0 {
+		if maxDetect > svc.cfg.KillAt {
+			res.Detect = maxDetect - svc.cfg.KillAt
+		}
+		if maxFailoverDone > svc.cfg.KillAt {
+			res.Unavail_ = maxFailoverDone - svc.cfg.KillAt
+		}
+	}
+	res.AM = svc.sys.Totals()
+	return res
+}
+
+// foldMetrics publishes the run into the process-wide metrics registry when
+// one is installed (the commands' -metrics flag), using Histogram.Merge so
+// multiple runs accumulate.
+func (svc *Service) foldMetrics(res *Result) {
+	reg := am.DefaultMetrics
+	if reg == nil {
+		return
+	}
+	reg.Histogram("kv.latency_ns").Merge(&res.Lat)
+	reg.Histogram("kv.latency_get_ns").Merge(&res.LatGet)
+	reg.Histogram("kv.latency_write_ns").Merge(&res.LatWrite)
+	reg.Counter("kv.completed").Add(res.Completed)
+	reg.Counter("kv.not_found").Add(res.NotFound)
+	reg.Counter("kv.conflict_giveups").Add(res.Conflicts)
+	reg.Counter("kv.unavailable").Add(res.Unavail)
+	reg.Counter("kv.lock_retries").Add(res.LockRetries)
+	reg.Counter("kv.failovers").Add(res.Failovers)
+	reg.Counter("kv.deferrals").Add(res.Deferrals)
+	reg.Counter("kv.server.lock_denied").Add(res.ServerOps.LockDenied)
+}
+
+// ReadKey reads a key from the first live replica's post-run state (tests).
+func (svc *Service) ReadKey(key uint32) (uint32, bool) {
+	sh := svc.shardOf(key)
+	for i := 0; i < svc.cfg.Replicas; i++ {
+		srv := svc.replicaSrv(sh, i)
+		if svc.cluster.Nodes[srv].Killed() {
+			continue
+		}
+		v, ok := svc.servers[srv].shards[sh].store[key]
+		return v, ok
+	}
+	return 0, false
+}
+
+// CheckInvariants verifies the post-run state: no latch is left held on any
+// live server, and every shard's live replicas hold identical stores (the
+// primary-latch write protocol must keep them convergent).
+func (svc *Service) CheckInvariants() error {
+	for sh := 0; sh < svc.numShards; sh++ {
+		var ref map[uint32]uint32
+		refSrv := -1
+		for i := 0; i < svc.cfg.Replicas; i++ {
+			srvID := svc.replicaSrv(sh, i)
+			if svc.cluster.Nodes[srvID].Killed() {
+				continue
+			}
+			s := svc.servers[srvID].shards[sh]
+			if n := len(s.latch); n != 0 {
+				return fmt.Errorf("kv: server %d shard %d: %d latches leaked", srvID, sh, n)
+			}
+			if ref == nil {
+				ref, refSrv = s.store, srvID
+				continue
+			}
+			if len(s.store) != len(ref) {
+				return fmt.Errorf("kv: shard %d: replica %d has %d keys, replica %d has %d",
+					sh, srvID, len(s.store), refSrv, len(ref))
+			}
+			for k, v := range ref {
+				if w, ok := s.store[k]; !ok || w != v {
+					return fmt.Errorf("kv: shard %d key %d: replica %d=%d(%v), replica %d=%d",
+						sh, k, srvID, w, ok, refSrv, v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package kv
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"spam/internal/hw"
+	"spam/internal/kv/load"
+)
+
+func testConfig(reqs int) Config {
+	return Config{
+		Servers:     3,
+		ClientNodes: 3,
+		Keys:        1 << 12,
+		Rate:        600e3,
+		Requests:    reqs,
+		Zipf:        1.1,
+		Seed:        7,
+	}
+}
+
+// TestKVBasic: every issued request reaches a terminal outcome, successful
+// outcomes carry latencies, and the post-run state satisfies the replica
+// and latch invariants.
+func TestKVBasic(t *testing.T) {
+	svc, err := New(testConfig(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 4000 {
+		t.Fatalf("issued %d, want 4000", res.Issued)
+	}
+	if got := res.Completed + res.Conflicts + res.Unavail; got != 4000 {
+		t.Fatalf("terminal outcomes %d, want 4000 (completed=%d conflicts=%d unavail=%d)",
+			got, res.Completed, res.Conflicts, res.Unavail)
+	}
+	if res.Unavail != 0 || res.Failovers != 0 {
+		t.Fatalf("healthy run reported unavail=%d failovers=%d", res.Unavail, res.Failovers)
+	}
+	if res.Lat.Count() != res.Completed {
+		t.Fatalf("latency histogram holds %d samples, want %d", res.Lat.Count(), res.Completed)
+	}
+	if res.Lat.Quantile(0.5) <= 0 || res.Lat.Quantile(0.99) < res.Lat.Quantile(0.5) {
+		t.Fatalf("implausible quantiles p50=%d p99=%d", res.Lat.Quantile(0.5), res.Lat.Quantile(0.99))
+	}
+	if res.Gets+res.Puts+res.Deletes+res.Batches != 4000 {
+		t.Fatalf("op counts don't sum: %+v", res)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+// TestKVBatchAtomicity: with a batch-only mix every write touches an
+// even/odd key pair with one value under locks, so the final state must
+// have equal values within each pair on every replica — the two-phase
+// commit must never tear.
+func TestKVBatchAtomicity(t *testing.T) {
+	cfg := testConfig(3000)
+	cfg.Keys = 64 // small keyspace -> heavy lock contention on the pairs
+	cfg.Mix = load.Mix{Batch: 1}
+	cfg.Zipf = 1.3
+	// Below saturation, with enough retry budget that contention always
+	// resolves: a conflict give-up would make atomicity vacuously true for
+	// that pair, so the test requires zero.
+	cfg.Rate = 100e3
+	cfg.MaxAttempts = 10000
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LockRetries == 0 {
+		t.Fatal("contended batch run saw no lock retries; the test isn't exercising conflicts")
+	}
+	if res.Conflicts != 0 {
+		t.Fatalf("%d conflict give-ups would void the atomicity invariant", res.Conflicts)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint32(0); k < uint32(cfg.Keys); k += 2 {
+		v0, ok0 := svc.ReadKey(k)
+		v1, ok1 := svc.ReadKey(k + 1)
+		if ok0 != ok1 || v0 != v1 {
+			t.Fatalf("batch tore: key %d = %d(%v), key %d = %d(%v)", k, v0, ok0, k+1, v1, ok1)
+		}
+	}
+}
+
+// TestKVNodeParDeterminism: the full Result — histograms, counters, and
+// protocol statistics — must be identical between a serial run and a
+// 4-shard conservative-parallel run.
+func TestKVNodeParDeterminism(t *testing.T) {
+	run := func(nodePar int) *Result {
+		cfg := testConfig(3000)
+		cfg.NodePar = nodePar
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	sharded := run(4)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("serial and -nodepar 4 results diverge:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+}
+
+// TestKVFailoverSoak kills a server mid-run: every request must still reach
+// a reply or a typed error in bounded simulated time, the detection latency
+// and unavailability window must be reported and bounded, and the verdict
+// must be identical serial vs -nodepar 4.
+func TestKVFailoverSoak(t *testing.T) {
+	run := func(nodePar int) *Result {
+		cfg := testConfig(6000)
+		cfg.Rate = 200e3 // below saturation: clients see empty polls, so detection is prompt
+		cfg.KillServer = 1
+		cfg.KillAt = hw.US(3000)
+		cfg.NodePar = nodePar
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if got := res.Completed + res.Conflicts + res.Unavail; got != res.Issued {
+		t.Fatalf("outcomes %d != issued %d after kill", got, res.Issued)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("kill run reported no failovers")
+	}
+	if res.Detect <= 0 || res.Detect > hw.US(100_000) {
+		t.Fatalf("detection latency %v outside (0, 100ms]", res.Detect)
+	}
+	if res.Unavail_ < res.Detect || res.Unavail_ > hw.US(150_000) {
+		t.Fatalf("unavailability window %v not in [detect=%v, 150ms]", res.Unavail_, res.Detect)
+	}
+	// With 2 replicas and one kill every shard keeps a live replica.
+	if res.Unavail != 0 {
+		t.Fatalf("%d Unavailable outcomes despite a surviving replica per shard", res.Unavail)
+	}
+	if sharded := run(4); !reflect.DeepEqual(res, sharded) {
+		t.Fatalf("failover verdict diverges under -nodepar 4:\nserial:  %+v\nsharded: %+v", res, sharded)
+	}
+}
+
+// TestKVServerAllocs guards the zero-allocation steady state: total heap
+// allocations must not scale with the request count. Both runs pay the same
+// setup (maps, slots, rings); the delta is the per-request cost, which must
+// be ~0 after warm-up.
+func TestKVServerAllocs(t *testing.T) {
+	measure := func(reqs int) float64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := Run(testConfig(reqs)); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs - before.Mallocs)
+	}
+	const small, large = 2000, 12000
+	var best float64 = 1e18
+	for attempt := 0; attempt < 3; attempt++ {
+		a := measure(small)
+		b := measure(large)
+		perReq := (b - a) / float64(large-small)
+		if perReq < best {
+			best = perReq
+		}
+		if best < 0.02 {
+			return
+		}
+	}
+	t.Fatalf("steady state allocates %.4f objects/request, want ~0", best)
+}
+
+// TestKVConfigValidation pins the config error paths.
+func TestKVConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := testConfig(100)
+	bad.Slots = maxSlots + 1
+	if _, err := New(bad); err == nil {
+		t.Fatal("oversized Slots accepted")
+	}
+	bad = testConfig(100)
+	bad.KillServer = 99
+	if _, err := New(bad); err == nil {
+		t.Fatal("out-of-range KillServer accepted")
+	}
+}

@@ -1,0 +1,40 @@
+// Per-shard latch tables, in the style of tinykv's latches: a try-lock map
+// from key to transaction owner. A denied lock is reported back to the
+// client (which aborts and retries after a backoff) rather than queued, so
+// the server never blocks and multi-key transactions cannot deadlock —
+// concurrent requests to different keys of one shard proceed independently.
+package kv
+
+// shard is one keyspace partition hosted by a server: its committed store
+// and the latch table guarding in-progress transactions. Both maps are
+// pre-sized at construction so the steady-state handler path never grows
+// them (the zero-allocation discipline of the packet path extends to the
+// service).
+type shard struct {
+	store map[uint32]uint32
+	latch map[uint32]uint32 // key -> owning txn (never 0; txns set bit 31)
+}
+
+func newShard(storeCap int) *shard {
+	return &shard{
+		store: make(map[uint32]uint32, storeCap),
+		latch: make(map[uint32]uint32, 128),
+	}
+}
+
+// tryLock latches key for txn. Re-granting to the current owner is
+// idempotent (a retried lock request must not deadlock its own txn).
+func (s *shard) tryLock(key, txn uint32) bool {
+	if owner, held := s.latch[key]; held {
+		return owner == txn
+	}
+	s.latch[key] = txn
+	return true
+}
+
+// unlock releases key if txn holds it (stale unlocks are no-ops).
+func (s *shard) unlock(key, txn uint32) {
+	if s.latch[key] == txn {
+		delete(s.latch, key)
+	}
+}

@@ -1,0 +1,114 @@
+package kv
+
+import (
+	"spam/internal/am"
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// server is one server node's state: the shard replicas it hosts and the
+// operation counters. All handlers run inside the node's Poll and only
+// Reply (the GAM handler rule); the steady-state path performs no heap
+// allocations — shard maps are pre-sized, replies are value messages on
+// warmed rings.
+type server struct {
+	svc    *Service
+	id     int
+	ep     *am.Endpoint
+	shards []*shard // indexed by global shard id; nil when not hosted
+
+	done int // done announcements received (one per client node)
+
+	gets, locks, lockDenied, commits, deletes, unlocks int64
+}
+
+func newServer(svc *Service, id int, ep *am.Endpoint) *server {
+	s := &server{svc: svc, id: id, ep: ep, shards: make([]*shard, svc.numShards)}
+	// Pre-size each hosted shard's store for its expected share of the
+	// keyspace with generous headroom, so map growth never happens on the
+	// handler path.
+	per := svc.cfg.Keys/svc.numShards*3 + 64
+	for sh := 0; sh < svc.numShards; sh++ {
+		if svc.hostsShard(id, sh) {
+			s.shards[sh] = newShard(per)
+		}
+	}
+	return s
+}
+
+// run polls until every client node has announced completion, then drains.
+// A fail-stopped server detaches at its next Poll.
+func (s *server) run(p *sim.Proc, n *hw.Node) {
+	for s.done < s.svc.cfg.ClientNodes {
+		s.ep.Poll(p)
+	}
+	s.ep.Drain(p, 0)
+}
+
+// shardFor locates the hosted shard for key; a miss is a routing bug, and
+// in a deterministic simulation a panic is the loudest way to surface it.
+func (s *server) shardFor(key uint32) *shard {
+	sh := s.shards[s.svc.shardOf(key)]
+	if sh == nil {
+		panic("kv: request routed to a server not hosting the key's shard")
+	}
+	return sh
+}
+
+// onGet: args [reqID, key] -> reply [reqID, status, value].
+func (s *server) onGet(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+	reqID, key := args[0], args[1]
+	s.gets++
+	v, ok := s.shardFor(key).store[key]
+	st := StatusOK
+	if !ok {
+		st = StatusNotFound
+	}
+	ep.Reply(p, tok, s.svc.hResp, reqID, st, v)
+}
+
+// onLock: args [reqID, txn, key] -> reply [reqID, OK|Locked, 0].
+func (s *server) onLock(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+	reqID, txn, key := args[0], args[1], args[2]
+	s.locks++
+	st := StatusOK
+	if !s.shardFor(key).tryLock(key, txn) {
+		st = StatusLocked
+		s.lockDenied++
+	}
+	ep.Reply(p, tok, s.svc.hResp, reqID, st, 0)
+}
+
+// onCommitPut: args [reqID, txn, key, val]. The value is applied
+// unconditionally: the client only commits while holding the key's primary
+// latch, which serializes writers, and re-commits after a failover are
+// idempotent. The latch (held at the primary only) is released by a
+// separate unlock once every replica has acknowledged.
+func (s *server) onCommitPut(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+	reqID, key, val := args[0], args[2], args[3]
+	s.commits++
+	s.shardFor(key).store[key] = val
+	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, 0)
+}
+
+// onCommitDel: args [reqID, txn, key] — the delete-flavored commit.
+func (s *server) onCommitDel(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+	reqID, key := args[0], args[2]
+	s.deletes++
+	delete(s.shardFor(key).store, key)
+	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, 0)
+}
+
+// onUnlock: args [reqID, txn, key] -> reply [reqID, OK, 0].
+func (s *server) onUnlock(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+	reqID, txn, key := args[0], args[1], args[2]
+	s.unlocks++
+	s.shardFor(key).unlock(key, txn)
+	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, 0)
+}
+
+// onDone: args [clientIdx]. No reply — the request's delivery is already
+// reliable, and the client is only announcing termination.
+func (s *server) onDone(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+	s.done++
+}

@@ -111,8 +111,7 @@ func NewGroup(seed uint64, shards int, lookahead Time) *Group {
 	}
 	for i := 0; i < shards; i++ {
 		e := NewEngine(seed + uint64(i)*0x9e3779b97f4a7c15)
-		e.shard = i
-		e.seq = crossSeqBase // local events sort after cross arrivals at ties
+		e.shard = i // local seq already starts at crossSeqBase (NewEngine)
 		g.engs = append(g.engs, e)
 	}
 	return g

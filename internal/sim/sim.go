@@ -164,10 +164,14 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
-// random stream derived from seed.
+// random stream derived from seed. The local seq counter starts at
+// crossSeqBase so that keyed network events — cross-shard arrivals in a
+// group, AfterKeyed deliveries on a serial engine — always precede local
+// events among same-(at, pushAt) ties, in both execution modes.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
 		parked: make(chan struct{}),
+		seq:    crossSeqBase,
 		rng:    NewRand(seed),
 	}
 }
@@ -202,13 +206,14 @@ func (e *Engine) push(t Time, fn func()) {
 	e.heapPush(event{at: t, pushAt: e.now, seq: e.seq, fn: fn})
 }
 
-// crossSeqBase offsets a sharded engine's local seq counter (set by
-// NewGroup) so that cross-shard arrivals — whose seq encodes (cause
-// schedule time, edge index), always below the base — precede local events
-// among same-(at, pushAt) ties. Cross events must not use the local
-// counter: the barrier at which an arrival is physically pushed depends on
-// the window schedule, so a counter seq would make tie order a function of
-// the shard packing instead of the traffic.
+// crossSeqBase offsets every engine's local seq counter (set by NewEngine)
+// so that keyed arrivals — whose seq encodes (cause schedule time, lane
+// index), always below the base — precede local events among same-(at,
+// pushAt) ties. Cross events must not use the local counter: the barrier at
+// which a sharded arrival is physically pushed depends on the window
+// schedule, so a counter seq would make tie order a function of the shard
+// packing instead of the traffic. Serial engines share the base (and the
+// AfterKeyed key construction) so the two modes' tie order coincides.
 const crossSeqBase = uint64(1) << 62
 
 // pushCross schedules fn at t carrying an explicit logical schedule time —
@@ -219,6 +224,20 @@ const crossSeqBase = uint64(1) << 62
 // never share a timestamp. t must be strictly in this engine's future.
 func (e *Engine) pushCross(t, pushAt Time, fn func(), seq uint64) {
 	e.heapPush(event{at: t, pushAt: pushAt, seq: seq, fn: fn})
+}
+
+// AfterKeyed schedules fn to run d (> 0) nanoseconds from now carrying the
+// cross-arrival ordering key a group drain would give it: pushAt is the
+// current clock and seq encodes (schedule time of the currently executing
+// event, lane) — the same (causeAt, edge-index) composition pushCross uses,
+// with lane playing the edge-index role among `lanes` total. A serial
+// engine delivering network hops through AfterKeyed therefore breaks
+// same-(at, pushAt) ties exactly as a sharded run does — by the causal
+// chain and then the lane — instead of by local push order, which is what
+// keeps serial and sharded runs of one workload byte-identical even when
+// deliveries tie with local events or with each other.
+func (e *Engine) AfterKeyed(d Time, lane, lanes uint64, fn func()) {
+	e.heapPush(event{at: e.now + d, pushAt: e.now, seq: uint64(e.curPushAt)*lanes + lane, fn: fn})
 }
 
 // At schedules fn to run in the engine goroutine at virtual time t. If t is

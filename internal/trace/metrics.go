@@ -75,24 +75,88 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Min() int64 { return h.min }
 func (h *Histogram) Max() int64 { return h.max }
 
-// Quantile reports an upper bound on the q-quantile (the top edge of the
-// bucket holding it), q in [0,1].
+// Quantile estimates the q-quantile (q in [0,1], clamped) by locating the
+// log2 bucket holding the rank and interpolating linearly between the
+// bucket's bounds by the rank's position inside it. Bucket i>0 spans
+// [2^(i-1), 2^i - 1]; the first and last occupied buckets are tightened to
+// the observed min and max, so Quantile(0) == Min and Quantile(1) == Max.
+// The result is deterministic: pure float64 arithmetic over the counts.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.n-1))
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n-1)
 	var seen int64
 	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			if i == 0 {
-				return 0
-			}
-			return 1<<uint(i) - 1
+		if c == 0 {
+			continue
 		}
+		if float64(seen+c) > rank {
+			lo, hi := bucketBounds(i)
+			last := seen+c == h.n
+			if seen == 0 && h.min > lo {
+				lo = h.min // first occupied bucket: min tightens the low edge
+			}
+			if last && h.max < hi {
+				hi = h.max // last occupied bucket: max tightens the high edge
+			}
+			if hi <= lo {
+				return lo
+			}
+			if c == 1 {
+				// One observation: the tightened edge is exact for the
+				// first/last bucket; interior buckets report the low edge.
+				if last {
+					return hi
+				}
+				return lo
+			}
+			frac := (rank - float64(seen)) / float64(c-1)
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += c
 	}
 	return h.max
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = 1 << uint(i-1)
+	hi = 1<<uint(i) - 1
+	return lo, hi
+}
+
+// Merge folds o's observations into h (bucket-wise; min/max/count/sum exact,
+// quantiles as good as the shared bucket layout allows). Merging preserves
+// determinism: the result depends only on the two histograms' contents, not
+// on merge order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
 }
 
 // MetricKind tags a snapshot entry.
@@ -125,7 +189,7 @@ type Metric struct {
 	Value float64
 
 	// Histogram-only fields.
-	Count, Sum, Min, Max, P50, P99 int64
+	Count, Sum, Min, Max, P50, P99, P999 int64
 }
 
 // Registry names and owns a set of metrics. Lookup by name happens at
@@ -191,7 +255,7 @@ func (r *Registry) Snapshot() []Metric {
 		out = append(out, Metric{
 			Name: name, Kind: KHistogram, Value: h.Mean(),
 			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
-			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -200,16 +264,16 @@ func (r *Registry) Snapshot() []Metric {
 
 // WriteMetrics renders a snapshot as an aligned text table.
 func WriteMetrics(w io.Writer, snap []Metric) {
-	fmt.Fprintf(w, "%-36s %-9s %14s %10s %8s %8s %8s %8s\n",
-		"metric", "kind", "value", "count", "min", "p50", "p99", "max")
+	fmt.Fprintf(w, "%-36s %-9s %14s %10s %8s %8s %8s %8s %8s\n",
+		"metric", "kind", "value", "count", "min", "p50", "p99", "p999", "max")
 	for _, m := range snap {
 		switch m.Kind {
 		case KHistogram:
-			fmt.Fprintf(w, "%-36s %-9s %14.2f %10d %8d %8d %8d %8d\n",
-				m.Name, m.Kind, m.Value, m.Count, m.Min, m.P50, m.P99, m.Max)
+			fmt.Fprintf(w, "%-36s %-9s %14.2f %10d %8d %8d %8d %8d %8d\n",
+				m.Name, m.Kind, m.Value, m.Count, m.Min, m.P50, m.P99, m.P999, m.Max)
 		default:
-			fmt.Fprintf(w, "%-36s %-9s %14.0f %10s %8s %8s %8s %8s\n",
-				m.Name, m.Kind, m.Value, "-", "-", "-", "-", "-")
+			fmt.Fprintf(w, "%-36s %-9s %14.0f %10s %8s %8s %8s %8s %8s\n",
+				m.Name, m.Kind, m.Value, "-", "-", "-", "-", "-", "-")
 		}
 	}
 }

@@ -77,11 +77,105 @@ func TestHistogram(t *testing.T) {
 	if m := h.Mean(); m < 184 || m > 185 {
 		t.Fatalf("Mean = %f, want ~184.3", m)
 	}
-	if q := h.Quantile(0.5); q != 3 { // bucket [2,4) upper edge
-		t.Fatalf("p50 = %d, want 3", q)
+	if q := h.Quantile(0.5); q != 2 { // rank 2.5 interpolates inside [2,3]
+		t.Fatalf("p50 = %d, want 2", q)
 	}
-	if q := h.Quantile(1.0); q != 1023 { // bucket [512,1024) upper edge
-		t.Fatalf("p100 = %d, want 1023", q)
+	if q := h.Quantile(0.0); q != 0 { // tightened to the observed min
+		t.Fatalf("p0 = %d, want 0", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 { // tightened to the observed max
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+}
+
+// TestHistogramQuantileInterpolation pins the interpolated quantiles on
+// known distributions: the estimate must move within a bucket with the rank
+// instead of snapping to the bucket's top edge.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 1024 uniform values 0..1023: half the mass sits in the top bucket
+	// [512,1023], so pre-interpolation every quantile above 0.5 returned
+	// 1023. With rank interpolation the estimates track the true values.
+	var u Histogram
+	for v := int64(0); v < 1024; v++ {
+		u.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 0},        // min
+		{1, 1023},     // max
+		{0.999, 1021}, // rank 1021.977 inside [512,1023]
+		{0.99, 1012},  // rank 1012.77
+		{0.75, 767},   // rank 767.25
+	}
+	for _, c := range cases {
+		if got := u.Quantile(c.q); got != c.want {
+			t.Errorf("uniform Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// A constant distribution must report that constant at every quantile.
+	var k Histogram
+	for i := 0; i < 100; i++ {
+		k.Observe(7)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := k.Quantile(q); got != 7 {
+			t.Errorf("constant Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+
+	// Single observation: every quantile is that observation.
+	var one Histogram
+	one.Observe(42)
+	if got := one.Quantile(0.5); got != 42 {
+		t.Errorf("single Quantile(0.5) = %d, want 42", got)
+	}
+
+	// Out-of-range q clamps.
+	if got := u.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %d, want 0", got)
+	}
+	if got := u.Quantile(2); got != 1023 {
+		t.Errorf("Quantile(2) = %d, want 1023", got)
+	}
+}
+
+// TestHistogramMerge checks that merging preserves count/sum/min/max and
+// bucket contents (quantiles over the merged histogram match a histogram
+// fed both streams directly).
+func TestHistogramMerge(t *testing.T) {
+	var a, b, both Histogram
+	for v := int64(0); v < 500; v++ {
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for v := int64(500); v < 1000; v++ {
+		b.Observe(v * 3)
+		both.Observe(v * 3)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() {
+		t.Fatalf("merged Count/Sum = %d/%d, want %d/%d", a.Count(), a.Sum(), both.Count(), both.Sum())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged Min/Max = %d/%d, want %d/%d", a.Min(), a.Max(), both.Min(), both.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merged Quantile(%v) = %d, want %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op; merging into empty copies.
+	var empty, into Histogram
+	a.Merge(&empty)
+	if a.Count() != both.Count() {
+		t.Fatal("merge of empty histogram changed the count")
+	}
+	into.Merge(&a)
+	if into.Count() != a.Count() || into.Min() != a.Min() || into.Max() != a.Max() {
+		t.Fatal("merge into empty histogram did not copy contents")
 	}
 }
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench-host.sh — run the host-time microbenchmarks and snapshot them as
-# BENCH_host.json (schema spam-host-bench/v2).
+# BENCH_host.json (schema spam-host-bench/v3).
 #
 # Two benchmark families feed the snapshot:
 #   - internal/sim:  engine event-loop cost (ns/dispatch, events/sec) — the
@@ -10,7 +10,10 @@
 #     steady-state paths must read 0 allocs/op with observability off.
 #
 # The snapshot also times one end-to-end `splitc-bench -paper` run (the
-# tier-1 Split-C table), the macro number the packet-path work optimises.
+# tier-1 Split-C table), the macro number the packet-path work optimises,
+# and one served-workload point (`kv-bench -rate 100000`), whose achieved
+# ops/sec and p99 are *simulated-time* quantities — deterministic, so any
+# drift is a behavior change, not noise (v3 adds the "kv" member).
 #
 # Every run also appends a dated one-line copy of the snapshot (plus the
 # git SHA it was measured at) to results/bench-history.jsonl, so perf over
@@ -21,6 +24,7 @@
 #   scripts/bench-host.sh out.json        # custom output path
 #   BENCHTIME=5s scripts/bench-host.sh    # longer, steadier runs
 #   SKIP_PAPER=1 scripts/bench-host.sh    # skip the end-to-end timing
+#   SKIP_KV=1 scripts/bench-host.sh       # skip the served-workload point
 #   SKIP_HISTORY=1 scripts/bench-host.sh  # don't touch bench-history.jsonl
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,9 +49,18 @@ if [[ "${SKIP_PAPER:-0}" != 1 ]]; then
 	echo "splitc-bench -paper: ${paper_wall}s wall" >&2
 fi
 
+kv_json=null
+if [[ "${SKIP_KV:-0}" != 1 ]]; then
+	kv_out=$(go run ./cmd/kv-bench -rate 100000 -reqs 20000 -clients 100000 -json)
+	kv_ops=$(printf '%s\n' "$kv_out" | awk '/"name": "kv_saturation"/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
+	kv_p99=$(printf '%s\n' "$kv_out" | awk '/"name": "kv_p99@/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
+	echo "kv-bench -rate 100000: ${kv_ops} req/s achieved, p99 ${kv_p99} us (simulated)" >&2
+	kv_json="{\"name\": \"kv-bench -rate 100000\", \"ops_per_sec\": ${kv_ops}, \"p99_us\": ${kv_p99}}"
+fi
+
 {
 	echo '{'
-	echo '  "schema": "spam-host-bench/v2",'
+	echo '  "schema": "spam-host-bench/v3",'
 	awk '
 		/^goos:/   { if (!goos)   { printf("  \"goos\": \"%s\",\n", $2); goos=1 } }
 		/^goarch:/ { if (!goarch) { printf("  \"goarch\": \"%s\",\n", $2); goarch=1 } }
@@ -81,6 +94,7 @@ fi
 		END { printf("\n") }
 	' "$tmp"
 	echo '  ],'
+	echo "  \"kv\": $kv_json,"
 	echo "  \"end_to_end\": {\"name\": \"splitc-bench -paper\", \"wall_seconds\": $paper_wall}"
 	echo '}'
 } >"$out"
@@ -94,7 +108,7 @@ if [[ "${SKIP_HISTORY:-0}" != 1 ]]; then
 	# The benchmark rows in $out each sit on one line; join them into a
 	# one-line array for the append-only history log.
 	rows=$(sed -n '/"benchmarks": \[/,/^  \],$/p' "$out" | sed '1d;$d;s/^ *//' | tr '\n' ' ' | sed 's/ $//')
-	printf '{"schema": "spam-host-bench/v2", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
-		"$stamp" "$sha" "$rows" "$paper_wall" >>"$hist"
+	printf '{"schema": "spam-host-bench/v3", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
+		"$stamp" "$sha" "$rows" "$kv_json" "$paper_wall" >>"$hist"
 	echo "appended history row to $hist" >&2
 fi

@@ -11,6 +11,11 @@
 # additionally gated exactly: any rise above the checked-in snapshot fails
 # (the zero-alloc data path must not quietly start allocating).
 #
+# The served-workload row ("kv" in the v3 schema) is gated too: kv-bench's
+# achieved ops/sec and p99 are simulated-time quantities, deterministic on
+# any host, so they are compared with the same factor purely to allow
+# intentional protocol retuning without a baseline refresh fight.
+#
 #   scripts/bench-regress.sh                    # compare vs BENCH_host.json
 #   scripts/bench-regress.sh baseline.json      # custom baseline
 #   FACTOR=3 scripts/bench-regress.sh           # looser threshold
@@ -79,3 +84,27 @@ awk '
 		exit bad
 	}
 ' "$cur.abase" "$cur.anow"
+
+# Served-workload gate (kv row, schema v3): ops/sec must not fall, and p99
+# must not rise, by more than the factor. A v2 baseline without the row
+# passes (the next bench-host.sh refresh adds it).
+extract_kv() {
+	sed -n 's/.*"kv": {[^}]*"ops_per_sec": \([0-9.eE+-]*\), "p99_us": \([0-9.eE+-]*\).*/\1 \2/p' "$1"
+}
+kv_base=$(extract_kv "$baseline")
+kv_now=$(extract_kv "$cur")
+if [[ -n "$kv_base" && -n "$kv_now" ]]; then
+	echo "$kv_base $kv_now" | awk -v factor="$factor" '
+		{
+			bad = 0
+			ops_status = "ok  "; p99_status = "ok  "
+			if ($3 < $1 / factor) { ops_status = "FAIL"; bad = 1 }
+			if ($4 > $2 * factor) { p99_status = "FAIL"; bad = 1 }
+			printf("%s kv ops/sec  %12.4g -> %12.4g  (limit %.2gx)\n", ops_status, $1, $3, factor)
+			printf("%s kv p99_us   %12.4g -> %12.4g  (limit %.2gx)\n", p99_status, $2, $4, factor)
+			exit bad
+		}'
+elif [[ -n "$kv_base" ]]; then
+	echo "FAIL kv row in baseline but missing from current run" >&2
+	exit 1
+fi
