@@ -28,13 +28,16 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
 	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
 	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
-	nodepar := flag.Int("nodepar", 1, "intra-run PDES shards per cluster (1 = serial)")
+	nodepar := flag.String("nodepar", "1", "intra-run PDES shards per cluster (1 = serial, \"auto\" = pick from GOMAXPROCS and shard stats)")
 	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
 	flag.Parse()
 	bench.Par = *par
 
 	obs := bench.NewObserver(*traceOut, *metrics)
-	bench.SetNodePar(*nodepar)
+	if err := bench.SetNodeParSpec(*nodepar); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *shardstats {
 		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
 	}

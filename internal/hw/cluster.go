@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"spam/internal/sim"
@@ -54,10 +55,16 @@ type Config struct {
 
 	// NodePar requests conservative-parallel execution with this many
 	// shards (0 falls back to DefaultNodePar, 1 is serial; clamped to
-	// NumNodes). A non-nil tracer forces serial: the recorder is a single
-	// shared stream.
+	// NumNodes; NodeParAuto picks from GOMAXPROCS, the topology, and
+	// accumulated -shardstats utilization — see PickShards). A non-nil
+	// tracer forces serial: the recorder is a single shared stream.
 	NodePar int
 }
+
+// NodeParAuto, assigned to Config.NodePar or DefaultNodePar, asks NewCluster
+// to resolve the shard count itself via PickShards (the `-nodepar auto`
+// spelling on the command lines).
+const NodeParAuto = -1
 
 // DefaultConfig returns an n-node thin-node SP, the machine of most of the
 // paper's measurements.
@@ -93,6 +100,9 @@ func NewCluster(cfg Config) *Cluster {
 	shards := cfg.NodePar
 	if shards == 0 {
 		shards = DefaultNodePar
+	}
+	if shards == NodeParAuto {
+		shards = PickShards(cfg.NumNodes, runtime.GOMAXPROCS(0), ReadShardStats())
 	}
 	if shards > cfg.NumNodes {
 		shards = cfg.NumNodes

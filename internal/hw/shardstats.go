@@ -11,12 +11,15 @@ import (
 // ShardUtilization aggregates conservative-PDES scheduler statistics across
 // every sharded cluster run since the last Reset. Serial runs contribute
 // nothing. The commands print it (splitc-bench -shardstats) and CI uploads
-// it as the shard-utilization artifact.
+// it as the shard-utilization artifact; PickShards feeds it back into the
+// auto shard count (-nodepar auto).
 type ShardUtilization struct {
 	Runs        int64   // sharded cluster runs observed
 	Windows     int64   // barrier-synchronized windows
 	SoloWindows int64   // windows one shard ran alone (no barrier)
 	CrossEvents int64   // packets carried between shards through mailboxes
+	SpinWakes   int64   // window releases absorbed by a worker's spin loop
+	ParkWakes   int64   // window releases that had to wake a parked worker
 	ShardEvents []int64 // events executed per shard index, summed over runs
 }
 
@@ -36,6 +39,8 @@ func recordShardStats(g *sim.Group) {
 	shardStats.Windows += st.Windows
 	shardStats.SoloWindows += st.SoloWindows
 	shardStats.CrossEvents += st.CrossEvents
+	shardStats.SpinWakes += st.SpinWakes
+	shardStats.ParkWakes += st.ParkWakes
 	for len(shardStats.ShardEvents) < len(st.ShardEvents) {
 		shardStats.ShardEvents = append(shardStats.ShardEvents, 0)
 	}
@@ -94,5 +99,47 @@ func (u ShardUtilization) Summary() string {
 		fmt.Fprintf(&b, "events per window: %.1f  solo fraction: %.3f\n",
 			float64(tot)/float64(w), float64(u.SoloWindows)/float64(w))
 	}
+	if wk := u.SpinWakes + u.ParkWakes; wk > 0 {
+		fmt.Fprintf(&b, "window releases: %d spin-absorbed + %d park-woken (park fraction %.3f)\n",
+			u.SpinWakes, u.ParkWakes, float64(u.ParkWakes)/float64(wk))
+	}
 	return b.String()
+}
+
+// PickShards resolves `-nodepar auto` to a concrete shard count. It starts
+// from the largest power of two that fits both the host (GOMAXPROCS) and the
+// topology (one shard per node is the finest useful grain, capped at 16 —
+// beyond that the 500ns windows are too small to amortize a barrier), then
+// halves while accumulated -shardstats utilization says windows are too
+// sparse to feed that many workers (< 2 events per window per shard means
+// most shards sit idle inside a window and the barrier is pure overhead).
+// With no accumulated stats (u.Runs == 0) the topology/host bound stands.
+func PickShards(nodes, procs int, u ShardUtilization) int {
+	if procs < 2 || nodes < 2 {
+		return 1
+	}
+	max := procs
+	if nodes < max {
+		max = nodes
+	}
+	if max > 16 {
+		max = 16
+	}
+	k := 1
+	for k*2 <= max {
+		k *= 2
+	}
+	if u.Runs > 0 {
+		if w := u.Windows + u.SoloWindows; w > 0 {
+			var tot int64
+			for _, n := range u.ShardEvents {
+				tot += n
+			}
+			perWindow := float64(tot) / float64(w)
+			for k > 1 && perWindow/float64(k) < 2 {
+				k /= 2
+			}
+		}
+	}
+	return k
 }

@@ -2,7 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"spam/internal/ring"
 )
@@ -21,18 +24,22 @@ type crossEntry struct {
 }
 
 // Edge is a unidirectional cross-shard mailbox. Entries are pushed onto q by
-// code running on the source engine during its window and moved by the group
-// coordinator at the next barrier — in deterministic (at, pushAt, causeAt,
-// edge-index) order across edges — onto dq, the destination-side delivery
-// queue consumed by the edge's heap events. Each ring is single-producer,
-// single-consumer with a barrier separating the two roles. Delivery payloads
-// must stay per-edge: a shard-wide FIFO would mismatch events and payloads,
-// because an entry drained at a later barrier may deliver earlier than one
-// already pending (its cause only reached the sender in a later window).
-// Within one edge at is monotonic — the source serializes its sends — so
-// FIFO pops align with event order. Pointer payloads do not allocate when
-// stored in the interface, so warmed rings keep the cross path
-// allocation-free.
+// code running on the source engine during its window. At the window barrier
+// the decision-maker — which holds the group exclusively — swaps each
+// pending mailbox into its staged buffer; the destination's worker drains
+// staged in one batched pass at the start of its next window, moving every
+// entry onto dq (the delivery queue consumed by the edge's heap events) and
+// into the destination heap. The swap is what lets drains run in parallel
+// per destination while sources concurrently push new entries: q and staged
+// are never touched by two goroutines at once.
+//
+// Delivery payloads must stay per-edge: a shard-wide FIFO would mismatch
+// events and payloads, because an entry drained at a later barrier may
+// deliver earlier than one already pending (its cause only reached the
+// sender in a later window). Within one edge at is monotonic — the source
+// serializes its sends — so FIFO pops align with event order. Pointer
+// payloads do not allocate when stored in the interface, so warmed rings
+// keep the cross path allocation-free.
 //
 // An edge's contents and their order are a pure function of the traffic the
 // source generates, independent of how logical processes are packed into
@@ -43,6 +50,7 @@ type Edge struct {
 	cb       func()    // heap-event thunk: pops dq, hands payload to fn
 	idx      int       // creation order: the deterministic tie-break at equal times
 	q        ring.Ring[crossEntry]
+	staged   ring.Ring[crossEntry]
 	dq       ring.Ring[crossEntry]
 }
 
@@ -69,7 +77,80 @@ type GroupStats struct {
 	Windows     int64   // barrier-synchronized windows (>= 2 shards active)
 	SoloWindows int64   // windows one shard ran alone, without a barrier
 	CrossEvents int64   // payloads carried between shards through edge mailboxes
+	SpinWakes   int64   // window releases absorbed by a worker's spin loop
+	ParkWakes   int64   // window releases that had to wake a parked worker
 	ShardEvents []int64 // events executed per shard
+}
+
+// Worker release commands, written to shardWorker.op before the release word
+// is bumped.
+const (
+	opWindow = iota // drain staged mailboxes, run events in [.., bound)
+	opSolo          // same, alone: Edge.Send may re-bound the horizon
+	opExit          // the run is over: the worker goroutine returns
+)
+
+// shardWorker is the per-shard coordination block of a running group. The
+// window protocol is decentralized: whichever participant arrives last at a
+// window barrier becomes the next decision-maker — there is no coordinator
+// goroutine — so on a multi-core host a window hand-off is one atomic
+// release/acquire pair absorbed by the consumer's spin loop, not a channel
+// round-trip through the Go scheduler.
+type shardWorker struct {
+	eng      *Engine
+	incoming []*Edge // edges delivering into eng, in creation (idx) order
+
+	// next is the shard's earliest pending local time (maxTime when idle),
+	// published by the owning worker after each window and read by the
+	// decision-maker while it holds the group exclusively. Publishing moves
+	// the old coordinator's tmin scan onto the shards themselves: each one
+	// reduces its own queues in parallel at window end, and the decision-
+	// maker only folds k pre-reduced values.
+	next atomic.Int64
+
+	// seq is the sense word, bumped by the decision-maker after writing op
+	// and bound. The owner never compares it against an expected value —
+	// only against the value it last observed — so no reset phase is needed
+	// between windows (the classic sense-reversing trick, generalized to a
+	// counter). parked and wake are the futex-style slow path: after the
+	// spin budget the owner advertises itself parked and blocks on wake;
+	// the releaser CASes the flag back and sends exactly one token.
+	seq    atomic.Uint32
+	parked atomic.Uint32
+	wake   chan struct{}
+
+	op    uint32 // release command; written before seq is bumped
+	bound Time   // window end (exclusive); written before seq is bumped
+
+	cross int64 // entries drained into this shard (owner-only; folded by Run)
+}
+
+// await blocks until the release word changes from last, returning the new
+// value. The spin budget keeps a multi-core hand-off out of the Go scheduler
+// entirely; the occasional Gosched keeps oversubscribed hosts (more shards
+// than CPUs) live while spinning.
+func (w *shardWorker) await(last uint32, spin int) uint32 {
+	for i := 0; i < spin; i++ {
+		if s := w.seq.Load(); s != last {
+			return s
+		}
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+	w.parked.Store(1)
+	if s := w.seq.Load(); s != last {
+		// The release raced our parking. If the flag is still ours the
+		// releaser saw us unparked and sent no token; otherwise a token is
+		// in flight and must be consumed so the channel stays empty.
+		if w.parked.CompareAndSwap(1, 0) {
+			return s
+		}
+		<-w.wake
+		return w.seq.Load()
+	}
+	<-w.wake
+	return w.seq.Load()
 }
 
 // Group coordinates a set of shard engines as one conservative parallel
@@ -79,21 +160,55 @@ type GroupStats struct {
 // past the sender's clock. The group advances all shards in bounded windows
 // [tmin, tmin+lookahead): every event in the window is safe to execute
 // concurrently because anything a shard sends during it arrives at or after
-// the window's end. Edge mailboxes are drained between windows, on the
-// coordinator, in a deterministic merge order.
+// the window's end.
+//
+// Window coordination is a sense-reversing barrier over atomics with
+// spin-then-park waiting, driven by the workers themselves: the last shard
+// to arrive at a barrier becomes the decision-maker, computes the next
+// window from the per-shard published minima, stages pending mailboxes, and
+// releases the active shards — running its own window inline. Mailboxes are
+// drained in parallel, per destination, in one batched pass per edge.
 type Group struct {
 	lookahead Time
 	engs      []*Engine
 	edges     []*Edge
 
-	active []*Engine // scratch: shards with work inside the current window
-	busy   []*Edge   // scratch: non-empty edges during a drain
+	workers []*shardWorker
+	arrive  atomic.Int32 // barrier: participants yet to finish the window
+	runDone chan int     // decision-maker -> Run caller: doneAll/doneHorizon
+	wg      sync.WaitGroup
+	spin    int  // per-wait spin budget (0 on a single-CPU host)
+	horizon Time // active Run's horizon (0 = none)
 
-	startCh []chan Time   // per-shard window dispatch (nil until a run starts)
-	doneCh  chan struct{} // workers -> coordinator barrier
+	pend   []Time         // scratch: per-shard earliest pending time
+	active []*shardWorker // scratch: shards inside the current window
+	busy   []*Edge        // scratch: non-empty mailboxes at a decision
+
+	// Wake-path counters must be atomic, unlike the rest of stats: release
+	// keeps running after its seq bump hands the window over, so the
+	// released worker can already be the next decision-maker — and inside
+	// its own release — while this one counts its wake.
+	spinWakes atomic.Int64
+	parkWakes atomic.Int64
+
+	// aborted is set by the first worker whose window panicked (a workload
+	// or lookahead-contract violation); panicVal carries the value so Run
+	// can re-raise it on its caller, exactly as the old inline coordinator
+	// did. A panicked worker never arrives at its barrier, so no sibling
+	// can become decision-maker afterwards; the panicking worker signals
+	// runDone itself.
+	aborted  atomic.Bool
+	panicVal any
 
 	stats GroupStats
 }
+
+// Run outcomes carried on runDone.
+const (
+	doneAll     = iota // no pending work anywhere: the run is complete
+	doneHorizon        // every pending time lies beyond the horizon
+	doneAbort          // a shard window panicked; panicVal holds the value
+)
 
 // NewGroup builds shards engines coordinated with the given lookahead (the
 // minimum cross-shard latency; for the SP model, the switch fabric latency).
@@ -107,13 +222,15 @@ func NewGroup(seed uint64, shards int, lookahead Time) *Group {
 	}
 	g := &Group{
 		lookahead: lookahead,
-		doneCh:    make(chan struct{}),
+		runDone:   make(chan int, 1),
 	}
 	for i := 0; i < shards; i++ {
 		e := NewEngine(seed + uint64(i)*0x9e3779b97f4a7c15)
 		e.shard = i // local seq already starts at crossSeqBase (NewEngine)
 		g.engs = append(g.engs, e)
+		g.workers = append(g.workers, &shardWorker{eng: e, wake: make(chan struct{}, 1)})
 	}
+	g.pend = make([]Time, shards)
 	return g
 }
 
@@ -135,78 +252,289 @@ func (g *Group) Edge(src, dst *Engine, fn func(any)) *Edge {
 	return ed
 }
 
-// drain merges every pending edge entry into its destination engine, in
-// ascending (at, pushAt, causeAt, edge-index) order across all edges. Each
-// delivery becomes one heap event on the destination carrying the sender's
-// logical push time in its key (pushCross): among same-time events on the
-// receiving shard it therefore sorts by when its cause ran — exactly where
-// a serial engine, which pushes chronologically, would have placed it.
-// Among cross arrivals that tie on (at, pushAt), a serial engine orders by
-// the causes' own execution order, whose leading component is the causes'
-// schedule time — causeAt, one more level of the chain, stamped by Send.
-// Only chains that are time-symmetric at both levels fall to edge creation
-// order. All components are functions of the traffic, not of the shard
-// packing, so every shard count produces the same order.
-func (g *Group) drain() {
-	busy := g.busy[:0]
+// prepare rebuilds each worker's incoming-edge list (edges are registered
+// between construction and the first Run; the list only changes if more
+// were added since).
+func (g *Group) prepare() {
+	total := 0
+	for _, w := range g.workers {
+		total += len(w.incoming)
+	}
+	if total == len(g.edges) {
+		return
+	}
+	for _, w := range g.workers {
+		w.incoming = w.incoming[:0]
+	}
 	for _, ed := range g.edges {
-		if ed.q.Len() > 0 {
-			busy = append(busy, ed)
-		}
+		w := g.workers[ed.dst.shard]
+		w.incoming = append(w.incoming, ed)
 	}
-	g.busy = busy
+}
+
+// barrierSpin picks the await spin budget: on a single visible CPU spinning
+// only steals the quantum from whichever goroutine must run next, so workers
+// park immediately; with real parallelism a few thousand iterations (a
+// handful of microseconds) absorb nearly every window hand-off.
+func barrierSpin() int {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return 0
+	}
+	return 4096
+}
+
+// drainShard batch-drains every staged mailbox delivering into w's shard:
+// one pass per edge, all entries moved in (per-edge) FIFO order onto the
+// delivery queue and into the destination heap. No cross-edge merge is
+// needed: a cross delivery's heap key (at, pushAt, causeAt*nedges+edgeIdx)
+// is unique per destination — one edge's entries are serialized by its
+// source and distinct edges differ in the index component — so the heap
+// orders deliveries identically no matter which order they were pushed in.
+// Among same-time events on the receiving shard a delivery therefore sorts
+// by when its cause ran (pushAt), then by the cause's own schedule time
+// (causeAt) — exactly where a serial engine, which pushes chronologically,
+// would have placed it — and only chains time-symmetric at both levels fall
+// to edge creation order. All components are functions of the traffic, not
+// of the shard packing, so every shard count produces the same order.
+func (g *Group) drainShard(w *shardWorker) {
 	nedges := uint64(len(g.edges))
-	for len(busy) > 0 {
-		best := 0
-		bh := busy[0].q.Peek()
-		for i := 1; i < len(busy); i++ {
-			h := busy[i].q.Peek()
-			if h.at < bh.at ||
-				(h.at == bh.at && (h.pushAt < bh.pushAt ||
-					(h.pushAt == bh.pushAt && (h.causeAt < bh.causeAt ||
-						(h.causeAt == bh.causeAt && busy[i].idx < busy[best].idx))))) {
-				best, bh = i, h
-			}
+	for _, ed := range w.incoming {
+		n := ed.staged.Len()
+		if n == 0 {
+			continue
 		}
-		ed := busy[best]
-		ent := ed.q.Pop()
 		dst := ed.dst
-		if ent.at <= dst.now {
-			panic(fmt.Sprintf(
-				"sim: cross-shard delivery at %v not after destination time %v (send violated the lookahead contract)",
-				ent.at, dst.now))
-		}
-		ed.dq.Push(ent)
-		dst.pushCross(ent.at, ent.pushAt, ed.cb, uint64(ent.causeAt)*nedges+uint64(ed.idx))
-		g.stats.CrossEvents++
-		if ed.q.Len() == 0 {
-			busy = append(busy[:best], busy[best+1:]...)
-		}
-	}
-}
-
-// startWorkers launches one goroutine per shard, parked on its dispatch
-// channel; stopWorkers releases them. The coordinator always executes one
-// active shard inline, so a window with k active shards costs k-1 dispatch
-// round-trips and a solo window costs none.
-func (g *Group) startWorkers() {
-	g.startCh = make([]chan Time, len(g.engs))
-	for i := range g.engs {
-		g.startCh[i] = make(chan Time)
-		go func(e *Engine, ch chan Time) {
-			for bound := range ch {
-				e.runWindow(bound)
-				g.doneCh <- struct{}{}
+		base := uint64(ed.idx)
+		for i := 0; i < n; i++ {
+			ent := ed.staged.Pop()
+			if ent.at <= dst.now {
+				panic(fmt.Sprintf(
+					"sim: cross-shard delivery at %v not after destination time %v (send violated the lookahead contract)",
+					ent.at, dst.now))
 			}
-		}(g.engs[i], g.startCh[i])
+			ed.dq.Push(ent)
+			dst.pushCross(ent.at, ent.pushAt, ed.cb, uint64(ent.causeAt)*nedges+base)
+		}
+		w.cross += int64(n)
 	}
 }
 
-func (g *Group) stopWorkers() {
-	for _, ch := range g.startCh {
-		close(ch)
+// runShardWindow performs one shard's share of a window: drain the staged
+// mailboxes, execute every local event strictly before bound, and publish
+// the new earliest pending time for the next decision.
+func (g *Group) runShardWindow(w *shardWorker) {
+	g.drainShard(w)
+	w.eng.runWindow(w.bound)
+	t, ok := w.eng.nextTime()
+	if !ok {
+		t = maxTime
 	}
-	g.startCh = nil
+	w.next.Store(int64(t))
+}
+
+// release hands worker w its next command. The plain op/bound stores are
+// published by the atomic bump of the sense word; the parked CAS transfers
+// exactly one wake token when (and only when) the owner got past its spin
+// budget.
+func (g *Group) release(w *shardWorker, op uint32, bound Time) {
+	w.op = op
+	w.bound = bound
+	w.seq.Add(1)
+	if w.parked.Load() == 1 && w.parked.CompareAndSwap(1, 0) {
+		w.wake <- struct{}{}
+		if op != opExit {
+			g.parkWakes.Add(1)
+		}
+	} else if op != opExit {
+		g.spinWakes.Add(1)
+	}
+}
+
+// decide runs the window scheduler. The caller holds the group exclusively:
+// every worker is parked, or past its last shared-state access on the way to
+// parking. self is the calling worker (nil when the Run caller makes the
+// first decision). decide returns when the caller stops being the decision-
+// maker: another worker was released and the last arriver inherits the role,
+// or the run is over and runDone has been signalled.
+func (g *Group) decide(self *shardWorker) {
+	for {
+		if g.aborted.Load() {
+			// A window panicked; the panicking worker has signalled Run.
+			return
+		}
+		// Fold the per-shard published minima with the heads of pending
+		// mailboxes: entries sent during the last window are not yet in any
+		// heap, but bound the next window just the same.
+		pend := g.pend
+		for i, w := range g.workers {
+			pend[i] = Time(w.next.Load())
+		}
+		busy := g.busy[:0]
+		for _, ed := range g.edges {
+			if ed.q.Len() > 0 {
+				busy = append(busy, ed)
+				if h := ed.q.Peek().at; h < pend[ed.dst.shard] {
+					pend[ed.dst.shard] = h
+				}
+			}
+		}
+		g.busy = busy
+		tmin, second := maxTime, maxTime
+		for _, t := range pend {
+			if t < tmin {
+				second, tmin = tmin, t
+			} else if t < second {
+				second = t
+			}
+		}
+		if tmin == maxTime {
+			g.runDone <- doneAll
+			return
+		}
+		if g.horizon > 0 && tmin > g.horizon {
+			g.runDone <- doneHorizon
+			return
+		}
+		wEnd := tmin + g.lookahead
+		if g.horizon > 0 && wEnd > g.horizon+1 {
+			wEnd = g.horizon + 1
+		}
+		active := g.active[:0]
+		for i, w := range g.workers {
+			if pend[i] < wEnd {
+				active = append(active, w)
+			}
+		}
+		g.active = active
+		// Stage the pending mailboxes of every active destination: the swap
+		// hands the backlog to the destination's worker while sources push
+		// new entries onto a fresh ring, so batched drains run concurrently
+		// with the window itself. An inactive destination keeps its backlog
+		// queued — every entry in it lies at or beyond wEnd, or the shard
+		// would be active.
+		for _, ed := range busy {
+			if pend[ed.dst.shard] < wEnd {
+				if ed.staged.Len() != 0 {
+					panic("sim: staged mailbox not drained by its window")
+				}
+				ed.staged, ed.q = ed.q, ed.staged
+			}
+		}
+		if len(active) == 1 {
+			// Solo window: no other shard has work before wEnd, so the one
+			// active shard may safely run up to one lookahead past the
+			// second-earliest pending time — anything the others will ever
+			// send arrives at or after that — with Edge.Send re-bounding
+			// the horizon at the first cross send.
+			w := active[0]
+			bound := second + g.lookahead
+			if g.horizon > 0 && bound > g.horizon+1 {
+				bound = g.horizon + 1
+			}
+			g.stats.SoloWindows++
+			if w == self {
+				// The decision-maker is the solo shard: run inline, still
+				// exclusive, and keep deciding. A chain of solo windows
+				// costs no hand-offs at all.
+				w.bound = bound
+				w.eng.soloing = true
+				g.runShardWindow(w)
+				w.eng.soloing = false
+				continue
+			}
+			g.arrive.Store(1)
+			g.release(w, opSolo, bound)
+			return
+		}
+		g.stats.Windows++
+		g.arrive.Store(int32(len(active)))
+		selfActive := false
+		for _, w := range active {
+			if w == self {
+				selfActive = true
+				continue
+			}
+			g.release(w, opWindow, wEnd)
+		}
+		if !selfActive {
+			return
+		}
+		// Run our own share inline; if we also arrive last, keep the
+		// decision-maker role without a single hand-off.
+		self.bound = wEnd
+		g.runShardWindow(self)
+		if g.arrive.Add(-1) == 0 {
+			continue
+		}
+		return
+	}
+}
+
+// worker is one shard's goroutine for the duration of a Run: await a
+// command, perform the window, arrive at the barrier — and, as the last
+// arriver, take over scheduling. last is the shard's seq value at spawn
+// time: the word persists across Runs (RunChecked slices a simulation into
+// watchdog budgets, each a fresh Run on the same group), so a worker
+// starting from zero would fall straight through its first await and read
+// the previous run's sticky opExit before this run's decision-maker had
+// written anything.
+func (g *Group) worker(w *shardWorker, last uint32) {
+	defer g.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// First panic wins; later ones (other shards of the same
+			// window) are dropped with their goroutines. The non-blocking
+			// send pairs with runDone's single reader.
+			if g.aborted.CompareAndSwap(false, true) {
+				g.panicVal = r
+			}
+			select {
+			case g.runDone <- doneAbort:
+			default:
+			}
+		}
+	}()
+	for {
+		last = w.await(last, g.spin)
+		switch w.op {
+		case opExit:
+			return
+		case opSolo:
+			w.eng.soloing = true
+			g.runShardWindow(w)
+			w.eng.soloing = false
+		default:
+			g.runShardWindow(w)
+		}
+		if g.arrive.Add(-1) == 0 {
+			g.decide(w)
+		}
+	}
+}
+
+// drainAll moves every entry still sitting in a mailbox into its destination
+// engine. It runs with the group quiescent, at the end of a Run: a horizon
+// stop may leave future deliveries queued, and Pending() must see them in
+// the shard heaps. (After a completed run every mailbox is empty — pending
+// entries would have bounded tmin.)
+func (g *Group) drainAll() {
+	nedges := uint64(len(g.edges))
+	for _, ed := range g.edges {
+		for _, q := range [2]*ring.Ring[crossEntry]{&ed.staged, &ed.q} {
+			for q.Len() > 0 {
+				ent := q.Pop()
+				dst := ed.dst
+				if ent.at <= dst.now {
+					panic(fmt.Sprintf(
+						"sim: cross-shard delivery at %v not after destination time %v (send violated the lookahead contract)",
+						ent.at, dst.now))
+				}
+				ed.dq.Push(ent)
+				dst.pushCross(ent.at, ent.pushAt, ed.cb, uint64(ent.causeAt)*nedges+uint64(ed.idx))
+				g.stats.CrossEvents++
+			}
+		}
+	}
 }
 
 // Run drives every shard to completion (or to the optional horizon),
@@ -215,66 +543,43 @@ func (g *Group) stopWorkers() {
 // shard clocks read the same time: the maximum across shards (or the
 // horizon), so Now() behaves exactly as after a serial run.
 func (g *Group) Run(horizon Time) error {
-	g.startWorkers()
-	defer g.stopWorkers()
-	for {
-		g.drain()
-		tmin, second := maxTime, maxTime
+	g.horizon = horizon
+	g.prepare()
+	g.spin = barrierSpin()
+	g.wg.Add(len(g.workers))
+	for i, w := range g.workers {
+		t, ok := g.engs[i].nextTime()
+		if !ok {
+			t = maxTime
+		}
+		w.next.Store(int64(t))
+		go g.worker(w, w.seq.Load())
+	}
+	g.decide(nil)
+	outcome := <-g.runDone
+	// On a normal outcome every worker is parked and the group is exclusive
+	// again; on an abort, stragglers finish their window, fail to complete
+	// the barrier (the panicked shard never arrives), and park. Either way
+	// the sticky release below sends them home, and wg.Wait joins them.
+	for _, w := range g.workers {
+		g.release(w, opExit, 0)
+	}
+	g.wg.Wait()
+	for _, w := range g.workers {
+		g.stats.CrossEvents += w.cross
+		w.cross = 0
+	}
+	g.stats.SpinWakes = g.spinWakes.Load()
+	g.stats.ParkWakes = g.parkWakes.Load()
+	if outcome == doneAbort {
+		panic(g.panicVal)
+	}
+	g.drainAll()
+	if outcome == doneHorizon {
 		for _, e := range g.engs {
-			if t, ok := e.nextTime(); ok {
-				if t < tmin {
-					second = tmin
-					tmin = t
-				} else if t < second {
-					second = t
-				}
-			}
+			e.now = horizon
 		}
-		if tmin == maxTime {
-			break
-		}
-		if horizon > 0 && tmin > horizon {
-			for _, e := range g.engs {
-				e.now = horizon
-			}
-			return nil
-		}
-		wEnd := tmin + g.lookahead
-		if horizon > 0 && wEnd > horizon+1 {
-			wEnd = horizon + 1
-		}
-		active := g.active[:0]
-		for _, e := range g.engs {
-			if t, ok := e.nextTime(); ok && t < wEnd {
-				active = append(active, e)
-			}
-		}
-		g.active = active
-		if len(active) == 1 {
-			// Solo window: no other shard has work before wEnd, so the one
-			// active shard may safely run up to one lookahead past the
-			// second-earliest pending time — anything the others will ever
-			// send arrives at or after that — with Edge.Send re-bounding
-			// the horizon at the first cross send.
-			e := active[0]
-			bound := second + g.lookahead
-			if horizon > 0 && bound > horizon+1 {
-				bound = horizon + 1
-			}
-			e.soloing = true
-			e.runWindow(bound)
-			e.soloing = false
-			g.stats.SoloWindows++
-			continue
-		}
-		for _, e := range active[1:] {
-			g.startCh[e.shard] <- wEnd
-		}
-		active[0].runWindow(wEnd)
-		for range active[1:] {
-			<-g.doneCh
-		}
-		g.stats.Windows++
+		return nil
 	}
 	var tmax Time
 	live := 0

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -175,6 +176,178 @@ func TestGroupSoloCrossSendReBoundsWindow(t *testing.T) {
 	for i, at := range arrivals {
 		if want := Time(i*2000 + 500); at != want {
 			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestGroupSoloExtensionCoversIdleGap pins the solo fast path's extension
+// contract under the decentralized barrier: when only one shard has work
+// before the window end, its solo window extends to one lookahead past the
+// second-earliest pending time — it must NOT pay one window per event while
+// the other shard idles toward a far-future wakeup.
+func TestGroupSoloExtensionCoversIdleGap(t *testing.T) {
+	g := NewGroup(1, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	var bAt Time
+	steps := 0
+	a.Go("busy", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Advance(3)
+			steps++
+		}
+	})
+	b.At(100000, func() { bAt = b.Now() })
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1000 || bAt != 100000 {
+		t.Fatalf("steps=%d bAt=%v, want 1000 / 100000", steps, bAt)
+	}
+	st := g.Stats()
+	if st.Windows != 0 {
+		t.Fatalf("Windows = %d, want 0 (never two shards active at once)", st.Windows)
+	}
+	// One extended solo window carries shard a through all 1000 events (its
+	// bound is 100000+500, far past its last event at 3000); one more runs
+	// shard b's event. Without extension this would be ~600 windows.
+	if st.SoloWindows > 3 {
+		t.Fatalf("SoloWindows = %d, want <= 3 (solo bound must extend to second+lookahead)", st.SoloWindows)
+	}
+}
+
+// TestGroupShardIdleMidRunRewakes drives a shard idle partway through the
+// run (its published next time becomes +inf, so decisions exclude it from
+// windows) and then re-activates it with cross traffic: the delivery must
+// arrive at its exact time even though the shard was out of every barrier in
+// between.
+func TestGroupShardIdleMidRunRewakes(t *testing.T) {
+	g := NewGroup(1, 3, 500)
+	a, b, c := g.Engines()[0], g.Engines()[1], g.Engines()[2]
+	var cTimes []Time
+	ac := g.Edge(a, c, func(any) { cTimes = append(cTimes, c.Now()) })
+	var ab, ba *Edge
+	hops := 0
+	ab = g.Edge(a, b, func(any) {
+		hops++
+		ba.Send(b.Now()+500, nil)
+	})
+	ba = g.Edge(b, a, func(any) {
+		hops++
+		if hops < 10 {
+			ab.Send(a.Now()+500, nil)
+		} else {
+			ac.Send(a.Now()+500, nil) // re-activate the long-idle shard c
+		}
+	})
+	c.At(50, func() {}) // c runs one early event, then sits idle
+	a.At(0, func() { ab.Send(500, nil) })
+	if err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(cTimes) != 1 || cTimes[0] != 5500 {
+		t.Fatalf("idle shard deliveries = %v, want exactly one at 5500", cTimes)
+	}
+	if a.Now() != c.Now() || b.Now() != c.Now() {
+		t.Fatalf("clocks differ after run: %v/%v/%v", a.Now(), b.Now(), c.Now())
+	}
+}
+
+// TestGroupRerunAfterIdleShard runs the same group twice — the way
+// hw.Cluster.RunChecked slices a long simulation into watchdog budgets —
+// with a shard idle through the whole first run that only becomes active in
+// the second. Regression test: worker goroutines are respawned per Run but
+// each shard's barrier seq word persists across runs, so a fresh worker
+// starting its await from zero fell straight through its first wait and
+// read the previous run's sticky opExit — the shard's goroutine exited, and
+// the first window that needed it deadlocked the whole group.
+func TestGroupRerunAfterIdleShard(t *testing.T) {
+	g := NewGroup(1, 2, 500)
+	a, b := g.Engines()[0], g.Engines()[1]
+	var got []Time
+	ab := g.Edge(a, b, func(any) { got = append(got, b.Now()) })
+	a.At(10, func() {}) // run 1: shard b never has work
+	g.RunAll()
+	a.At(20, func() { ab.Send(620, nil) }) // run 2: b re-enters the windows
+	g.RunAll()
+	if len(got) != 1 || got[0] != 620 {
+		t.Fatalf("second-run deliveries = %v, want exactly one at 620", got)
+	}
+	if a.Now() != 620 || b.Now() != 620 {
+		t.Fatalf("clocks after second run: %v/%v, want 620/620", a.Now(), b.Now())
+	}
+}
+
+// TestGroupDrainOrderMatchesReferenceFuzz pins the batched per-edge drain
+// against the per-entry reference: deliveries into one shard must execute in
+// ascending (at, pushAt, causeAt*nedges+edgeIdx) key order — the order a
+// per-entry merged drain (or a serial engine pushing chronologically) would
+// produce — no matter how entries are batched across edges. Random traffic,
+// deterministic seeds.
+func TestGroupDrainOrderMatchesReferenceFuzz(t *testing.T) {
+	type rec struct {
+		edge    int
+		at      Time
+		payload int
+	}
+	for seed := uint64(1); seed <= 30; seed++ {
+		rng := NewRand(seed)
+		nedges := 2 + rng.Intn(7)
+		g := NewGroup(seed, 3, 500)
+		dst := g.Engines()[2]
+		var got []rec
+		edges := make([]*Edge, nedges)
+		for i := range edges {
+			i := i
+			src := g.Engines()[i%2]
+			edges[i] = g.Edge(src, dst, func(p any) {
+				got = append(got, rec{i, dst.Now(), p.(int)})
+			})
+		}
+		// Stage random traffic directly: per edge, strictly increasing at
+		// (one edge's sends are serialized by its source); pushAt anywhere
+		// at least one lookahead back; causeAt <= pushAt.
+		type keyed struct {
+			key [3]uint64
+			rec rec
+		}
+		var want []keyed
+		payload := 0
+		for i, ed := range edges {
+			at := Time(0)
+			n := 1 + rng.Intn(12)
+			for j := 0; j < n; j++ {
+				at += 500 + Time(rng.Intn(2000))
+				pushAt := at - 500 - Time(rng.Intn(int(at-499)))
+				causeAt := pushAt - Time(rng.Intn(int(pushAt+1)))
+				payload++
+				ed.staged.Push(crossEntry{at: at, pushAt: pushAt, causeAt: causeAt, payload: payload})
+				want = append(want, keyed{
+					key: [3]uint64{uint64(at), uint64(pushAt), uint64(causeAt)*uint64(nedges) + uint64(i)},
+					rec: rec{i, at, payload},
+				})
+			}
+		}
+		g.prepare()
+		g.drainShard(g.workers[2])
+		dst.RunAll()
+		sort.Slice(want, func(x, y int) bool {
+			kx, ky := want[x].key, want[y].key
+			if kx[0] != ky[0] {
+				return kx[0] < ky[0]
+			}
+			if kx[1] != ky[1] {
+				return kx[1] < ky[1]
+			}
+			return kx[2] < ky[2]
+		})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d deliveries, want %d", seed, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k].rec {
+				t.Fatalf("seed %d: delivery %d = %+v, want %+v (batched drain broke key order)",
+					seed, k, got[k], want[k].rec)
+			}
 		}
 	}
 }

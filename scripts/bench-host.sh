@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench-host.sh — run the host-time microbenchmarks and snapshot them as
-# BENCH_host.json (schema spam-host-bench/v3).
+# BENCH_host.json (schema spam-host-bench/v4).
 #
 # Two benchmark families feed the snapshot:
 #   - internal/sim:  engine event-loop cost (ns/dispatch, events/sec) — the
@@ -13,7 +13,12 @@
 # tier-1 Split-C table), the macro number the packet-path work optimises,
 # and one served-workload point (`kv-bench -rate 100000`), whose achieved
 # ops/sec and p99 are *simulated-time* quantities — deterministic, so any
-# drift is a behavior change, not noise (v3 adds the "kv" member).
+# drift is a behavior change, not noise (v3 adds the "kv" member). v4 adds
+# the barrier/drain microbench rows (they ride the internal/sim run) and a
+# "nodepar" member: the same -paper regeneration under `-nodepar auto`,
+# with the resolved shard count and GOMAXPROCS, so the snapshot records
+# what intra-run parallelism buys (or costs) on this host next to the
+# serial wall it is measured against.
 #
 # Every run also appends a dated one-line copy of the snapshot (plus the
 # git SHA it was measured at) to results/bench-history.jsonl, so perf over
@@ -23,7 +28,8 @@
 #   scripts/bench-host.sh                 # writes BENCH_host.json
 #   scripts/bench-host.sh out.json        # custom output path
 #   BENCHTIME=5s scripts/bench-host.sh    # longer, steadier runs
-#   SKIP_PAPER=1 scripts/bench-host.sh    # skip the end-to-end timing
+#   SKIP_PAPER=1 scripts/bench-host.sh    # skip the end-to-end timings
+#   SKIP_NODEPAR=1 scripts/bench-host.sh  # keep serial -paper, skip -nodepar
 #   SKIP_KV=1 scripts/bench-host.sh       # skip the served-workload point
 #   SKIP_HISTORY=1 scripts/bench-host.sh  # don't touch bench-history.jsonl
 set -euo pipefail
@@ -38,15 +44,31 @@ go test ./internal/sim/ -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s
 go test ./internal/am/ -run '^$' -bench 'ShortEcho|BulkStore|PollEmpty' -benchmem -benchtime "${BENCHTIME:-1s}" -count 1 | tee -a "$tmp" >&2
 
 paper_wall=null
+nodepar_json=null
 if [[ "${SKIP_PAPER:-0}" != 1 ]]; then
 	bin=$(mktemp)
 	go build -o "$bin" ./cmd/splitc-bench
 	start=$(date +%s.%N)
 	"$bin" -paper >/dev/null
 	end=$(date +%s.%N)
-	rm -f "$bin"
 	paper_wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", e-s}')
 	echo "splitc-bench -paper: ${paper_wall}s wall" >&2
+	if [[ "${SKIP_NODEPAR:-0}" != 1 ]]; then
+		gmp=${GOMAXPROCS:-$(nproc)}
+		ss=$(mktemp)
+		start=$(date +%s.%N)
+		"$bin" -paper -nodepar auto -shardstats >/dev/null 2>"$ss"
+		end=$(date +%s.%N)
+		nodepar_wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", e-s}')
+		# Shard count = width of the per-shard event histogram (auto may
+		# resolve 1 on a single-CPU host: no sharded runs are recorded).
+		shards=$(awk '/^events per shard:/{print NF-5; exit} END{if(!NR)print 1}' "$ss")
+		[[ -n "$shards" && "$shards" -ge 1 ]] 2>/dev/null || shards=1
+		rm -f "$ss"
+		echo "splitc-bench -paper -nodepar auto: ${nodepar_wall}s wall (${shards} shards, GOMAXPROCS=${gmp})" >&2
+		nodepar_json="{\"name\": \"splitc-bench -paper -nodepar auto\", \"wall_seconds\": ${nodepar_wall}, \"serial_wall_seconds\": ${paper_wall}, \"shards\": ${shards}, \"gomaxprocs\": ${gmp}}"
+	fi
+	rm -f "$bin"
 fi
 
 kv_json=null
@@ -60,7 +82,7 @@ fi
 
 {
 	echo '{'
-	echo '  "schema": "spam-host-bench/v3",'
+	echo '  "schema": "spam-host-bench/v4",'
 	awk '
 		/^goos:/   { if (!goos)   { printf("  \"goos\": \"%s\",\n", $2); goos=1 } }
 		/^goarch:/ { if (!goarch) { printf("  \"goarch\": \"%s\",\n", $2); goarch=1 } }
@@ -79,6 +101,8 @@ fi
 				if ($(i+1) == "B/op")      bytes = $i
 				if ($(i+1) == "allocs/op") allocs = $i
 				if ($(i+1) == "events/sec") ev = $i
+				if ($(i+1) == "windows/sec") ev = $i
+				if ($(i+1) == "entries/sec") ev = $i
 				if ($(i+1) == "MB/s")      mbs = $i
 			}
 			if (ns == "") next
@@ -95,6 +119,7 @@ fi
 	' "$tmp"
 	echo '  ],'
 	echo "  \"kv\": $kv_json,"
+	echo "  \"nodepar\": $nodepar_json,"
 	echo "  \"end_to_end\": {\"name\": \"splitc-bench -paper\", \"wall_seconds\": $paper_wall}"
 	echo '}'
 } >"$out"
@@ -108,7 +133,7 @@ if [[ "${SKIP_HISTORY:-0}" != 1 ]]; then
 	# The benchmark rows in $out each sit on one line; join them into a
 	# one-line array for the append-only history log.
 	rows=$(sed -n '/"benchmarks": \[/,/^  \],$/p' "$out" | sed '1d;$d;s/^ *//' | tr '\n' ' ' | sed 's/ $//')
-	printf '{"schema": "spam-host-bench/v3", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
-		"$stamp" "$sha" "$rows" "$kv_json" "$paper_wall" >>"$hist"
+	printf '{"schema": "spam-host-bench/v4", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "nodepar": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
+		"$stamp" "$sha" "$rows" "$kv_json" "$nodepar_json" "$paper_wall" >>"$hist"
 	echo "appended history row to $hist" >&2
 fi

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# pdes-speedup.sh — measure the intra-run parallel (-nodepar) speedup of the
+# paper-scale Split-C regeneration across shard counts, and verify every
+# sharded run stays byte-identical to the serial golden.
+#
+# Output is the speedup-vs-shards table EXPERIMENTS.md quotes: one row per
+# shard count with wall seconds, speedup vs the serial run measured in the
+# same invocation, and the host's GOMAXPROCS (the number that decides
+# whether the rows measure parallelism or pure coordination overhead — on a
+# single-CPU host every shard count is overhead by construction).
+#
+#   scripts/pdes-speedup.sh              # shards 2 4 8 16 vs serial
+#   SHARDS="2 4" scripts/pdes-speedup.sh # custom shard counts
+#   QUICK=1 scripts/pdes-speedup.sh      # quick-scale (smoke, not citable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shards=${SHARDS:-"2 4 8 16"}
+scale=-paper
+[[ "${QUICK:-0}" == 1 ]] && scale=""
+gmp=${GOMAXPROCS:-$(nproc)}
+
+bin=$(mktemp)
+ref=$(mktemp)
+out=$(mktemp)
+trap 'rm -f "$bin" "$ref" "$out"' EXIT
+go build -o "$bin" ./cmd/splitc-bench
+
+s0=$(date +%s.%N)
+"$bin" $scale >"$ref"
+s1=$(date +%s.%N)
+serial=$(awk -v a="$s0" -v b="$s1" 'BEGIN{printf "%.1f", b-a}')
+
+echo "# splitc-bench ${scale:-(quick)} wall-clock vs -nodepar shards (GOMAXPROCS=$gmp)"
+printf '%-10s %10s %10s %8s\n' "shards" "wall_s" "speedup" "golden"
+printf '%-10s %10s %10s %8s\n' "serial" "$serial" "1.00x" "ref"
+for n in $shards; do
+	s0=$(date +%s.%N)
+	"$bin" $scale -nodepar "$n" >"$out"
+	s1=$(date +%s.%N)
+	wall=$(awk -v a="$s0" -v b="$s1" 'BEGIN{printf "%.1f", b-a}')
+	if cmp -s "$ref" "$out"; then ident=same; else ident=DIFFERS; fi
+	speedup=$(awk -v s="$serial" -v w="$wall" 'BEGIN{printf "%.2fx", s/w}')
+	printf '%-10s %10s %10s %8s\n' "$n" "$wall" "$speedup" "$ident"
+	[[ "$ident" == same ]] || { echo "FAIL: -nodepar $n output differs from serial" >&2; exit 1; }
+done
