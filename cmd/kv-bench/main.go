@@ -7,6 +7,8 @@
 //
 //	kv-bench                     # tail-latency sweep across the rate ladder
 //	kv-bench -rate 200e3         # single offered-load point
+//	kv-bench -cachetable         # hit rate + cached-vs-uncached GET tail vs skew
+//	kv-bench -cache=false        # disable the client read cache
 //	kv-bench -chaos kill         # fail-stop a server mid-run, report failover
 //	kv-bench -json               # machine-readable saturation + tail metrics
 //
@@ -22,6 +24,7 @@ import (
 	"spam/internal/bench"
 	"spam/internal/hw"
 	"spam/internal/kv"
+	"spam/internal/kv/load"
 	"spam/internal/sim"
 )
 
@@ -30,29 +33,28 @@ func main() {
 	nodes := flag.Int("nodes", 4, "client nodes driving the load")
 	clients := flag.Int("clients", 1_000_000, "virtual end-clients multiplexed over the client nodes")
 	rate := flag.Float64("rate", 0, "offered load in requests/s (0 = sweep the default ladder)")
-	zipf := flag.Float64("zipf", 1.1, "key-popularity skew (<= 1 uniform)")
+	zipf := flag.Float64("zipf", 1.3, "key-popularity skew (<= 1 uniform)")
 	keys := flag.Int("keys", 1<<16, "keyspace size")
 	reqs := flag.Int("reqs", 50_000, "requests per sweep point")
 	seed := flag.Uint64("seed", 1, "run seed")
+	mixName := flag.String("mix", "default", "operation mix: default (80/15/3/2), readmostly (95/5), nobatch")
+	cache := flag.Bool("cache", true, "client read cache (versioned leases + invalidation push)")
+	cacheSize := flag.Int("cachesize", 4096, "cache entries per client node")
+	leaseUS := flag.Float64("lease", 100_000, "read-lease duration in us of simulated time")
+	noPush := flag.Bool("nopush", false, "suppress the invalidation push (lease-expiry-only coherence)")
+	cacheTable := flag.Bool("cachetable", false, "print the hit-rate / cached-vs-uncached table across -skews (read-mostly mix unless -mix is given)")
+	skews := flag.String("skews", "1.00,1.10,1.30,1.50", "comma-separated Zipf skews for -cachetable")
 	chaos := flag.String("chaos", "", "chaos mode: 'kill' fail-stops a server mid-run")
 	killat := flag.Float64("killat", 5000, "kill time in us of simulated time (-chaos kill)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
-	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
-	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
-	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
-	nodepar := flag.String("nodepar", "1", "intra-run PDES shards per cluster (1 = serial, \"auto\" = pick from GOMAXPROCS and shard stats)")
-	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
+	cf := bench.StdFlags()
 	flag.Parse()
-	bench.Par = *par
+	cf.Activate()
 
-	obs := bench.NewObserver(*traceOut, *metrics)
-	if err := bench.SetNodeParSpec(*nodepar); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if *shardstats {
-		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
-	}
+	mix, err := load.ParseMix(*mixName)
+	check(err)
+	mixSet := false
+	flag.Visit(func(f *flag.Flag) { mixSet = mixSet || f.Name == "mix" })
 
 	base := kv.Config{
 		Servers:        *servers,
@@ -60,8 +62,13 @@ func main() {
 		VirtualClients: *clients,
 		Keys:           *keys,
 		Zipf:           *zipf,
+		Mix:            mix,
 		Requests:       *reqs,
 		Seed:           *seed,
+		CacheOff:       !*cache,
+		CacheSize:      *cacheSize,
+		Lease:          hw.US(*leaseUS),
+		NoInvalPush:    *noPush,
 	}
 	rates := bench.KVDefaultRates()
 	if *rate > 0 {
@@ -69,6 +76,17 @@ func main() {
 	}
 
 	switch {
+	case *cacheTable:
+		sk, err := load.ParseSkews(*skews)
+		check(err)
+		if !mixSet {
+			base.Mix = load.ReadMostlyMix()
+		}
+		base.Rate = 300e3
+		if *rate > 0 {
+			base.Rate = *rate
+		}
+		bench.KVCacheTable(os.Stdout, base, sk)
 	case *chaos == "kill":
 		base.Rate = rates[len(rates)-1] / 2 // hold the service below saturation while failing over
 		if *rate > 0 {
@@ -84,7 +102,7 @@ func main() {
 		bench.KVTailTable(os.Stdout, base, rates)
 	}
 
-	check(obs.Finish(os.Stdout))
+	check(cf.Finish(os.Stdout))
 }
 
 func check(err error) {

@@ -14,28 +14,14 @@ import (
 	"os"
 
 	"spam/internal/bench"
-	"spam/internal/hw"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "small smoke configuration")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
-	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
-	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
-	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
-	nodepar := flag.String("nodepar", "1", "intra-run PDES shards per cluster (1 = serial, \"auto\" = pick from GOMAXPROCS and shard stats)")
-	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
+	cf := bench.StdFlags()
 	flag.Parse()
-	bench.Par = *par
-
-	obs := bench.NewObserver(*traceOut, *metrics)
-	if err := bench.SetNodeParSpec(*nodepar); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if *shardstats {
-		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
-	}
+	cf.Activate()
 
 	cfg := bench.PaperNAS()
 	if *quick {
@@ -47,7 +33,7 @@ func main() {
 	} else {
 		bench.PrintNAS(os.Stdout, rows, cfg.NProcs)
 	}
-	check(obs.Finish(os.Stdout))
+	check(cf.Finish(os.Stdout))
 }
 
 func check(err error) {

@@ -18,7 +18,6 @@ import (
 	"os"
 
 	"spam/internal/bench"
-	"spam/internal/hw"
 )
 
 func main() {
@@ -28,22 +27,9 @@ func main() {
 	stats := flag.Bool("stats", false, "run a mixed workload and dump protocol statistics")
 	chaos := flag.String("chaos", "", "chaos sweep: 'loss' (bandwidth vs packet-loss rate) or 'kill' (fail-stop detection latency)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
-	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
-	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
-	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
-	nodepar := flag.String("nodepar", "1", "intra-run PDES shards per cluster (1 = serial, \"auto\" = pick from GOMAXPROCS and shard stats)")
-	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
+	cf := bench.StdFlags()
 	flag.Parse()
-	bench.Par = *par
-
-	obs := bench.NewObserver(*traceOut, *metrics)
-	if err := bench.SetNodeParSpec(*nodepar); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if *shardstats {
-		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
-	}
+	cf.Activate()
 
 	switch {
 	case *stats:
@@ -95,7 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	check(obs.Finish(os.Stdout))
+	check(cf.Finish(os.Stdout))
 }
 
 func check(err error) {

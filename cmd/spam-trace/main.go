@@ -18,7 +18,6 @@ import (
 
 	"spam/internal/am"
 	"spam/internal/bench"
-	"spam/internal/hw"
 	"spam/internal/trace"
 )
 
@@ -32,16 +31,10 @@ func main() {
 	out := flag.String("out", "", "write the run's Chrome trace-event JSON to this file")
 	timeline := flag.Bool("timeline", false, "print the run's plain-text event timeline")
 	total := flag.Int("total", 1<<20, "bytes moved by the -load run")
-	nodepar := flag.String("nodepar", "1", "intra-run PDES shards per cluster (accepted for CLI parity; traced clusters always run serial)")
-	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
+	cf := bench.TraceToolFlags()
 	flag.Parse()
-	if err := bench.SetNodeParSpec(*nodepar); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if *shardstats {
-		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
-	}
+	cf.Activate()
+	defer func() { check(cf.Finish(os.Stdout)) }()
 
 	var rec *trace.Recorder
 

@@ -17,7 +17,6 @@ import (
 
 	"spam/internal/bench"
 	"spam/internal/gam"
-	"spam/internal/hw"
 )
 
 func main() {
@@ -25,22 +24,9 @@ func main() {
 	paper := flag.Bool("paper", false, "use paper-scale problem sizes")
 	procs := flag.Int("p", 8, "number of processors")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
-	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE")
-	metrics := flag.Bool("metrics", false, "print a protocol metrics snapshot after the run")
-	par := flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)")
-	nodepar := flag.String("nodepar", "1", "intra-run PDES shards per cluster (1 = serial, \"auto\" = pick from GOMAXPROCS and shard stats)")
-	shardstats := flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
+	cf := bench.StdFlags()
 	flag.Parse()
-	bench.Par = *par
-
-	obs := bench.NewObserver(*traceOut, *metrics)
-	if err := bench.SetNodeParSpec(*nodepar); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if *shardstats {
-		defer func() { fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary()) }()
-	}
+	cf.Activate()
 
 	if *table == 4 {
 		fmt.Println("# Table 4: machine characteristics (model inputs)")
@@ -51,6 +37,7 @@ func main() {
 				(2*(m.OSend+m.ORecv) + 2*m.Latency).Microseconds(), m.MBps, m.CPUScale)
 		}
 		fmt.Println("IBM SP: full hardware model (see internal/hw); AM round-trip 51us, 34.3MB/s")
+		check(cf.Finish(os.Stdout))
 		return
 	}
 
@@ -63,14 +50,14 @@ func main() {
 	if *jsonOut {
 		results := bench.RunTable5(cfg, machines)
 		check(bench.WriteJSONReport(os.Stdout, bench.Table5Report(results)))
-		check(obs.Finish(os.Stdout))
+		check(cf.Finish(os.Stdout))
 		return
 	}
 	fmt.Printf("# Split-C benchmarks on %d processors (keys=%d, mm %dx%d blocks of %d^2 and %dx%d of %d^2)\n",
 		cfg.NProcs, cfg.Keys, cfg.MMLgN, cfg.MMLgN, cfg.MMLgB, cfg.MMSmN, cfg.MMSmN, cfg.MMSmB)
 	results := bench.RunTable5(cfg, machines)
 	bench.PrintTable5(os.Stdout, results, machines)
-	check(obs.Finish(os.Stdout))
+	check(cf.Finish(os.Stdout))
 }
 
 func check(err error) {

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spam/internal/hw"
+)
+
+// CommonFlags bundles the command-line surface shared by every cmd/* main:
+// sweep fan-out (-par), intra-run PDES sharding (-nodepar), shard-
+// utilization reporting (-shardstats), and the observer hooks (-trace,
+// -metrics). Before this helper each main copy-pasted the same wiring;
+// register with StdFlags (or TraceToolFlags for the subset), call Activate
+// after flag.Parse, and Finish after the run.
+type CommonFlags struct {
+	par        *int
+	nodepar    *string
+	shardstats *bool
+	trace      *string
+	metrics    *bool
+	obs        *Observer
+}
+
+// StdFlags registers the full shared set on the default FlagSet. Call
+// before flag.Parse.
+func StdFlags() *CommonFlags {
+	cf := &CommonFlags{
+		par:     flag.Int("par", 1, "parallel sweep workers (0 = one per CPU, 1 = serial)"),
+		trace:   flag.String("trace", "", "write Chrome trace-event JSON of the run to FILE"),
+		metrics: flag.Bool("metrics", false, "print a protocol metrics snapshot after the run"),
+	}
+	cf.registerRun("intra-run PDES shards per cluster (1 = serial, \"auto\" = pick from GOMAXPROCS and shard stats)")
+	return cf
+}
+
+// TraceToolFlags registers only -nodepar and -shardstats, for commands that
+// manage their own recorders (spam-trace) and must not grow conflicting
+// -trace/-metrics/-par flags.
+func TraceToolFlags() *CommonFlags {
+	cf := &CommonFlags{}
+	cf.registerRun("intra-run PDES shards per cluster (accepted for CLI parity; traced clusters always run serial)")
+	return cf
+}
+
+func (cf *CommonFlags) registerRun(nodeparHelp string) {
+	cf.nodepar = flag.String("nodepar", "1", nodeparHelp)
+	cf.shardstats = flag.Bool("shardstats", false, "print the shard-utilization summary to stderr after the run")
+}
+
+// Activate applies the parsed flags, exiting with status 2 on a bad
+// -nodepar spec. The observers-force-serial rule lives here, once: a
+// tracer or metrics registry hook is not synchronized across PDES shard
+// workers, so installing either (NewObserver) pins hw.DefaultNodePar to 1
+// and any -nodepar request is overridden for the observed run.
+func (cf *CommonFlags) Activate() {
+	if cf.par != nil {
+		Par = *cf.par
+	}
+	if cf.trace != nil {
+		cf.obs = NewObserver(*cf.trace, *cf.metrics)
+	}
+	if err := SetNodeParSpec(*cf.nodepar); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// Finish flushes the run's artifacts: the observer's trace file and
+// metrics table (to w), then the -shardstats summary to stderr. Call once,
+// after the last benchmark, on every exit path that produced output.
+func (cf *CommonFlags) Finish(w io.Writer) error {
+	var err error
+	if cf.obs != nil {
+		err = cf.obs.Finish(w)
+	}
+	if *cf.shardstats {
+		fmt.Fprint(os.Stderr, hw.ReadShardStats().Summary())
+	}
+	return err
+}

@@ -10,7 +10,9 @@ import (
 
 // JSONSchemaVersion identifies the machine-readable report layout; bump it
 // on any incompatible change so downstream consumers can dispatch.
-const JSONSchemaVersion = 1
+// Schema 2 adds the kv_cache member and kv_classes per-op-class quantiles
+// to kv-bench reports (absent members mean "not a kv run").
+const JSONSchemaVersion = 2
 
 // JSONMetric is one measurement in a machine-readable bench report.
 type JSONMetric struct {
@@ -22,11 +24,36 @@ type JSONMetric struct {
 	Paper float64 `json:"paper,omitempty"`
 }
 
+// KVCacheJSON is the client read-cache accounting of a kv-bench report
+// (schema 2).
+type KVCacheJSON struct {
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	Stale        int64   `json:"stale"`
+	Coalesced    int64   `json:"coalesced"`
+	InvalsRecv   int64   `json:"invals_recv"`
+	InvalsPushed int64   `json:"invals_pushed"`
+	Evictions    int64   `json:"evictions"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// KVClassJSON is one operation class's latency tail in a kv-bench report
+// (schema 2): class is "all", "get", or "write".
+type KVClassJSON struct {
+	Class  string  `json:"class"`
+	Count  int64   `json:"count"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+}
+
 // JSONReport is the stable machine-readable output of a bench command.
 type JSONReport struct {
-	Command string       `json:"command"`
-	Schema  int          `json:"schema"`
-	Metrics []JSONMetric `json:"metrics"`
+	Command   string        `json:"command"`
+	Schema    int           `json:"schema"`
+	Metrics   []JSONMetric  `json:"metrics"`
+	KVCache   *KVCacheJSON  `json:"kv_cache,omitempty"`
+	KVClasses []KVClassJSON `json:"kv_classes,omitempty"`
 }
 
 // WriteJSONReport writes r as indented JSON.

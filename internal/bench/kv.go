@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"spam/internal/hw"
 	"spam/internal/kv"
 	"spam/internal/sim"
+	"spam/internal/trace"
 )
 
 // KVPoint is one offered-load point of a kv tail-latency sweep.
@@ -46,18 +48,77 @@ func KVSweep(base kv.Config, rates []float64) []KVPoint {
 // (no coordinated omission).
 func KVTailTable(w io.Writer, base kv.Config, rates []float64) {
 	pts := KVSweep(base, rates)
-	fmt.Fprintf(w, "# kv-bench: open-loop tail latency vs offered load (%d servers, %d client nodes, %d virtual clients, zipf %.2f, %d keys, %d reqs/point)\n",
-		base.Servers, base.ClientNodes, maxInt(base.VirtualClients, base.ClientNodes), base.Zipf, keysOrDefault(base.Keys), base.Requests)
-	fmt.Fprintf(w, "%-12s %12s %9s %9s %9s %10s %9s %9s\n",
-		"offered_rps", "achieved_rps", "p50_us", "p99_us", "p999_us", "retries", "conflict", "unavail")
+	fmt.Fprintf(w, "# kv-bench: open-loop tail latency vs offered load (%d servers, %d client nodes, %d virtual clients, zipf %.2f, %d keys, %d reqs/point, %s)\n",
+		base.Servers, base.ClientNodes, maxInt(base.VirtualClients, base.ClientNodes), base.Zipf, keysOrDefault(base.Keys), base.Requests, cacheDesc(base))
+	fmt.Fprintf(w, "%-12s %12s %9s %9s %9s %10s %9s %9s %6s\n",
+		"offered_rps", "achieved_rps", "p50_us", "p99_us", "p999_us", "retries", "conflict", "unavail", "hit%")
 	for _, pt := range pts {
 		r := pt.Res
-		fmt.Fprintf(w, "%-12.0f %12.0f %9.1f %9.1f %9.1f %10d %9d %9d\n",
+		fmt.Fprintf(w, "%-12.0f %12.0f %9.1f %9.1f %9.1f %10d %9d %9d %6.1f\n",
 			pt.OfferedRPS, r.Throughput(),
 			float64(r.Lat.Quantile(0.5))/1e3,
 			float64(r.Lat.Quantile(0.99))/1e3,
 			float64(r.Lat.Quantile(0.999))/1e3,
-			r.LockRetries, r.Conflicts, r.Unavail)
+			r.LockRetries, r.Conflicts, r.Unavail,
+			100*r.HitRate())
+	}
+}
+
+// cacheDesc summarizes the cache configuration for table headers.
+func cacheDesc(base kv.Config) string {
+	if base.CacheOff {
+		return "cache off"
+	}
+	size, lease := base.CacheSize, base.Lease
+	if size <= 0 {
+		size = 4096
+	}
+	if lease <= 0 {
+		lease = hw.US(100_000)
+	}
+	return fmt.Sprintf("cache %d/node lease %v", size, lease)
+}
+
+// KVCacheTable sweeps key-popularity skew at a fixed offered rate and
+// prints, per skew, the cache economics (hit/stale rates, coalesced
+// fetches, invalidation pushes) and the cached-vs-uncached GET tail. The
+// cached and uncached runs see the identical arrival schedule — the load
+// generator draws are independent of service behavior — so the p99 ratio
+// isolates exactly what the cache buys. StaleServed is asserted zero here
+// too: a golden regeneration doubles as a lease-safety check.
+func KVCacheTable(w io.Writer, base kv.Config, skews []float64) {
+	runs := Sweep(2*len(skews), func(i int) *kv.Result {
+		cfg := base
+		cfg.Zipf = skews[i/2]
+		cfg.CacheOff = i%2 == 1
+		res, err := kv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: kv cache point zipf %.2f: %v", skews[i/2], err))
+		}
+		if res.StaleServed != 0 {
+			panic(fmt.Sprintf("bench: kv cache point zipf %.2f: %d lease-expired cache serves", skews[i/2], res.StaleServed))
+		}
+		return res
+	})
+	fmt.Fprintf(w, "# kv-bench: client-cache hit rate and GET tail vs key skew (%d servers, %d client nodes, %.0f rps offered, read-mostly mix, %d keys, %d reqs/point, %s)\n",
+		base.Servers, base.ClientNodes, base.Rate, keysOrDefault(base.Keys), base.Requests, cacheDesc(base))
+	fmt.Fprintf(w, "%-6s %6s %7s %9s %8s %10s %10s | %10s %10s %9s\n",
+		"zipf", "hit%", "stale%", "coalesce", "invals", "get_p50us", "get_p99us", "off_p50us", "off_p99us", "p99_ratio")
+	for i, s := range skews {
+		on, off := runs[2*i], runs[2*i+1]
+		ratio := 0.0
+		if p := float64(on.LatGet.Quantile(0.99)); p > 0 {
+			ratio = float64(off.LatGet.Quantile(0.99)) / p
+		}
+		stalePct := 0.0
+		if on.Gets > 0 {
+			stalePct = 100 * float64(on.CacheStale) / float64(on.Gets)
+		}
+		fmt.Fprintf(w, "%-6.2f %6.1f %7.1f %9d %8d %10.1f %10.1f | %10.1f %10.1f %8.1fx\n",
+			s, 100*on.HitRate(), stalePct, on.Coalesced, on.InvalsRecv,
+			float64(on.LatGet.Quantile(0.5))/1e3, float64(on.LatGet.Quantile(0.99))/1e3,
+			float64(off.LatGet.Quantile(0.5))/1e3, float64(off.LatGet.Quantile(0.99))/1e3,
+			ratio)
 	}
 }
 
@@ -79,13 +140,14 @@ func KVKillTable(w io.Writer, base kv.Config, killServer int, kills []sim.Time) 
 	})
 	fmt.Fprintf(w, "# kv-bench: fail-stop server %d under load (%d servers, %d client nodes, %.0f rps offered)\n",
 		killServer, base.Servers, base.ClientNodes, base.Rate)
-	fmt.Fprintf(w, "%-10s %10s %11s %9s %9s %9s %9s\n",
-		"kill_at", "detect_ms", "unavail_ms", "failover", "ok", "conflict", "unavail")
+	fmt.Fprintf(w, "%-10s %10s %11s %9s %9s %9s %9s %6s %6s\n",
+		"kill_at", "detect_ms", "unavail_ms", "failover", "ok", "conflict", "unavail", "hit%", "stale")
 	for i, r := range pts {
-		fmt.Fprintf(w, "%-10v %10.2f %11.2f %9d %9d %9d %9d\n",
+		fmt.Fprintf(w, "%-10v %10.2f %11.2f %9d %9d %9d %9d %6.1f %6d\n",
 			kills[i],
 			float64(r.Detect)/1e6, float64(r.Unavail_)/1e6,
-			r.Failovers, r.Completed, r.Conflicts, r.Unavail)
+			r.Failovers, r.Completed, r.Conflicts, r.Unavail,
+			100*r.HitRate(), r.StaleServed)
 	}
 }
 
@@ -111,8 +173,36 @@ func KVReport(base kv.Config, rates []float64) JSONReport {
 		JSONMetric{Name: "kv_saturation", Value: satur, Unit: "req/s"},
 		JSONMetric{Name: fmt.Sprintf("kv_p50@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.5)) / 1e3, Unit: "us"},
 		JSONMetric{Name: fmt.Sprintf("kv_p99@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.99)) / 1e3, Unit: "us"},
-		JSONMetric{Name: fmt.Sprintf("kv_p999@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.999)) / 1e3, Unit: "us"})
+		JSONMetric{Name: fmt.Sprintf("kv_p999@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.999)) / 1e3, Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_get_p99@%.0frps", best.OfferedRPS), Value: float64(best.Res.LatGet.Quantile(0.99)) / 1e3, Unit: "us"},
+		JSONMetric{Name: "kv_hit_rate", Value: best.Res.HitRate(), Unit: "frac"})
+	res := best.Res
+	r.KVCache = &KVCacheJSON{
+		Hits:         res.CacheHits,
+		Misses:       res.CacheMisses,
+		Stale:        res.CacheStale,
+		Coalesced:    res.Coalesced,
+		InvalsRecv:   res.InvalsRecv,
+		InvalsPushed: res.ServerOps.Invals,
+		Evictions:    res.Evictions,
+		HitRate:      res.HitRate(),
+	}
+	r.KVClasses = []KVClassJSON{
+		kvClassRow("all", &res.Lat),
+		kvClassRow("get", &res.LatGet),
+		kvClassRow("write", &res.LatWrite),
+	}
 	return r
+}
+
+func kvClassRow(class string, h *trace.Histogram) KVClassJSON {
+	return KVClassJSON{
+		Class:  class,
+		Count:  h.Count(),
+		P50us:  float64(h.Quantile(0.5)) / 1e3,
+		P99us:  float64(h.Quantile(0.99)) / 1e3,
+		P999us: float64(h.Quantile(0.999)) / 1e3,
+	}
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,132 @@
+package kv
+
+import (
+	"testing"
+
+	"spam/internal/hw"
+	"spam/internal/sim"
+)
+
+// TestCacheLRUEviction: the arena fills before anything is evicted, and the
+// victim is always the least recently used key (lookup hits refresh recency).
+func TestCacheLRUEviction(t *testing.T) {
+	c := newReadCache(3, hw.US(100))
+	for k := uint32(0); k < 3; k++ {
+		if _, ev := c.fill(k, k*10, 1, uint8(StatusOK), 0); ev {
+			t.Fatalf("fill %d evicted before the arena was full", k)
+		}
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, st := c.lookup(0, hw.US(1)); st != lkHit {
+		t.Fatalf("key 0 lookup = %d, want hit", st)
+	}
+	if _, ev := c.fill(3, 30, 1, uint8(StatusOK), 0); !ev {
+		t.Fatal("fill past capacity did not evict")
+	}
+	if _, st := c.lookup(1, hw.US(1)); st != lkMiss {
+		t.Fatalf("key 1 should have been the LRU victim, lookup = %d", st)
+	}
+	for _, k := range []uint32{0, 2, 3} {
+		if e, st := c.lookup(k, hw.US(1)); st != lkHit || e.val != k*10 {
+			t.Fatalf("key %d: status %d val %d, want hit %d", k, st, e.val, k*10)
+		}
+	}
+}
+
+// TestCacheLeaseExpiry: the lease clock starts at the GET's dispatch time,
+// and an entry is stale (not missing) from exactly sentAt+lease onward.
+func TestCacheLeaseExpiry(t *testing.T) {
+	c := newReadCache(4, hw.US(100))
+	sentAt := hw.US(50)
+	c.fill(7, 77, 1, uint8(StatusOK), sentAt)
+	if _, st := c.lookup(7, sentAt+hw.US(99)); st != lkHit {
+		t.Fatalf("inside lease: status %d, want hit", st)
+	}
+	if e, st := c.lookup(7, sentAt+hw.US(100)); st != lkStale {
+		t.Fatalf("at lease boundary: status %d, want stale", st)
+	} else if e == nil || e.val != 77 {
+		t.Fatal("stale lookup should still return the entry")
+	}
+	// A refill restarts the lease from the new dispatch time.
+	c.fill(7, 78, 2, uint8(StatusOK), sentAt+hw.US(200))
+	if e, st := c.lookup(7, sentAt+hw.US(250)); st != lkHit || e.val != 78 {
+		t.Fatalf("after refill: status %d val %d, want hit 78", st, e.val)
+	}
+}
+
+// TestCacheVersionFloor: an invalidation raises the entry's version floor,
+// and a fill below the floor (a GET reply that raced the invalidation) is
+// rejected rather than allowed to resurrect the overwritten value.
+func TestCacheVersionFloor(t *testing.T) {
+	c := newReadCache(4, hw.US(100))
+	c.fill(9, 90, 3, uint8(StatusOK), 0)
+	c.invalidate(9, 5)
+	if _, st := c.lookup(9, hw.US(1)); st != lkStale {
+		t.Fatalf("after invalidate: status %d, want stale", st)
+	}
+	if ok, _ := c.fill(9, 90, 3, uint8(StatusOK), hw.US(1)); ok {
+		t.Fatal("fill with version 3 accepted below floor 5")
+	}
+	if _, st := c.lookup(9, hw.US(2)); st != lkStale {
+		t.Fatalf("rejected fill revalidated the entry (status %d)", st)
+	}
+	if ok, _ := c.fill(9, 95, 5, uint8(StatusOK), hw.US(2)); !ok {
+		t.Fatal("fill at the floor version rejected")
+	}
+	if e, st := c.lookup(9, hw.US(3)); st != lkHit || e.val != 95 {
+		t.Fatalf("after floor-matching fill: status %d val %d, want hit 95", st, e.val)
+	}
+}
+
+// TestCacheInvalidateSemantics: an invalidation at or below the cached
+// version is a no-op (the cache already reflects that commit), and an
+// invalidation for an absent key does nothing.
+func TestCacheInvalidateSemantics(t *testing.T) {
+	c := newReadCache(4, hw.US(100))
+	c.invalidate(1, 99) // absent key: must not install anything
+	if _, st := c.lookup(1, 0); st != lkMiss {
+		t.Fatal("invalidate installed an entry for an absent key")
+	}
+	c.fill(2, 20, 7, uint8(StatusOK), 0)
+	c.invalidate(2, 7) // equal version: entry already reflects this commit
+	if _, st := c.lookup(2, hw.US(1)); st != lkHit {
+		t.Fatal("equal-version invalidation dropped a current entry")
+	}
+	c.invalidate(2, 6) // older version: stale push, ignore
+	if _, st := c.lookup(2, hw.US(2)); st != lkHit {
+		t.Fatal("older-version invalidation dropped a current entry")
+	}
+	c.invalidate(2, 8)
+	if _, st := c.lookup(2, hw.US(3)); st != lkStale {
+		t.Fatal("newer-version invalidation did not drop the entry")
+	}
+}
+
+// TestCacheNegativeEntries: NotFound results are cached like values — a
+// repeat GET of a missing key is a hit carrying StatusNotFound.
+func TestCacheNegativeEntries(t *testing.T) {
+	c := newReadCache(4, hw.US(100))
+	c.fill(4, 0, 2, uint8(StatusNotFound), 0)
+	e, st := c.lookup(4, hw.US(1))
+	if st != lkHit || e.status != uint8(StatusNotFound) {
+		t.Fatalf("negative entry: status %d ent.status %d, want hit NotFound", st, e.status)
+	}
+	// A later put bumps the version and the negative entry dies with it.
+	c.invalidate(4, 3)
+	if _, st := c.lookup(4, hw.US(2)); st != lkStale {
+		t.Fatal("negative entry survived a newer-version invalidation")
+	}
+}
+
+// TestCacheZeroTimeFill pins the sentAt=0 edge: exp = 0+lease, still a
+// well-formed lease window.
+func TestCacheZeroTimeFill(t *testing.T) {
+	c := newReadCache(2, hw.US(10))
+	c.fill(1, 11, 1, uint8(StatusOK), sim.Time(0))
+	if _, st := c.lookup(1, hw.US(9)); st != lkHit {
+		t.Fatal("fill at t=0 not serveable inside its lease")
+	}
+	if _, st := c.lookup(1, hw.US(10)); st != lkStale {
+		t.Fatal("fill at t=0 serveable past its lease")
+	}
+}

@@ -35,6 +35,7 @@ type reqSlot struct {
 	denied     bool // a lock in this round was denied
 	commitDone bool
 	failedOver bool // the op survived at least one replica death
+	coalesced  bool // GET riding another slot's in-flight fetch
 	op         load.Op
 	phase      uint8
 	afterUnlock uint8
@@ -50,6 +51,18 @@ type reqSlot struct {
 	grantSrv   [maxKeys]int8
 	tgt        [maxTargets]int8 // sub -> server awaiting reply, -1 = resolved
 	arrive     sim.Time
+
+	// Read-cache state (GET slots only). A coalescing leader chains its
+	// waiters through waitHead/waitNext (slot indices, -1 = none); verFloor
+	// is raised by invalidations and local write completions that land
+	// while the fetch is in flight, so a reply carrying an older version is
+	// served but not cached.
+	sentAt   sim.Time
+	ver      uint32
+	verFloor uint32
+	waitHead int32
+	waitNext int32
+	vers     [maxKeys]uint32 // commit phase: max version acked per key
 }
 
 type retryEnt struct {
@@ -64,6 +77,16 @@ type ClientStats struct {
 	Gets, Puts, Deletes, Batches int64
 	LockRetries, Failovers       int64
 	Deferrals                    int64
+
+	// Read-cache accounting. Every GET is exactly one of hit, coalesced,
+	// or fetched (miss + stale); StaleServed guards the lease bound and
+	// must stay 0.
+	CacheHits, CacheMisses, CacheStale int64
+	Coalesced                          int64
+	InvalsRecv                         int64
+	Evictions                          int64
+	StaleFills                         int64 // fetches not cached: an invalidation outran the reply
+	StaleServed                        int64 // cache served past lease expiry (structurally impossible)
 
 	Lat, LatGet, LatWrite trace.Histogram
 
@@ -92,6 +115,9 @@ type client struct {
 	need     []int32 // dispatch scratch
 	dead     []bool  // per server, set by the peer-death handler
 
+	cache       *readCache        // nil when Config.CacheOff
+	getInflight map[uint32]uint32 // key -> leader slot of the in-flight GET
+
 	budget, issued, finished int
 	nextAt                   sim.Time
 
@@ -111,6 +137,10 @@ func newClient(svc *Service, idx int, ep *am.Endpoint, budget int, vlo, vn uint3
 		need:     make([]int32, cfg.Servers),
 		dead:     make([]bool, cfg.Servers),
 		budget:   budget,
+	}
+	if !cfg.CacheOff {
+		cl.cache = newReadCache(cfg.CacheSize, cfg.Lease)
+		cl.getInflight = make(map[uint32]uint32, cfg.Slots)
 	}
 	for i := 0; i < cfg.Slots; i++ {
 		cl.free.Push(uint32(i))
@@ -174,6 +204,7 @@ func (cl *client) startOp(p *sim.Proc) {
 	*s = reqSlot{active: true, op: op, arrive: arrive, gen: gen, val: val, nkeys: 1}
 	s.txn = 1<<31 | uint32(cl.idx)<<12 | si
 	s.keys[0] = key
+	s.waitHead, s.waitNext = -1, -1
 	for i := range s.tgt {
 		s.tgt[i] = -1
 	}
@@ -182,6 +213,9 @@ func (cl *client) startOp(p *sim.Proc) {
 	case load.OpGet:
 		cl.st.Gets++
 		s.phase = phRead
+		if cl.cache != nil && cl.serveOrCoalesce(p, si) {
+			return
+		}
 	case load.OpPut:
 		cl.st.Puts++
 		s.phase = phLock
@@ -196,6 +230,48 @@ func (cl *client) startOp(p *sim.Proc) {
 		s.keys[1] = key | 1
 	}
 	cl.dispatch(p, si)
+}
+
+// serveOrCoalesce tries to retire a fresh GET without touching the
+// network: a lease-valid cache hit terminates immediately (the round trip
+// the cache exists to eliminate), and a miss on a key whose fetch is
+// already in flight from this node chains onto that leader's waiter list
+// instead of issuing a duplicate (singleflight). Reports whether the slot
+// was absorbed; otherwise the caller dispatches it as the key's leader.
+func (cl *client) serveOrCoalesce(p *sim.Proc, si uint32) bool {
+	s := &cl.slots[si]
+	key := s.keys[0]
+	e, lk := cl.cache.lookup(key, p.Now())
+	switch lk {
+	case lkHit:
+		cl.st.CacheHits++
+		if p.Now() >= e.exp {
+			cl.st.StaleServed++ // lookup forbids this; the counter is the proof
+		}
+		if f := cl.svc.staleCheck; f != nil {
+			f(key, e.ver, p.Now())
+		}
+		s.val, s.ver = e.val, e.ver
+		cl.terminal(p, si, uint32(e.status))
+		return true
+	}
+	// Not serveable. If a fetch for this key is already in flight, ride it
+	// instead of issuing another; only the leader counts as a miss or a
+	// stale revalidation, so the four classes partition the GETs.
+	if li, ok := cl.getInflight[key]; ok {
+		cl.st.Coalesced++
+		s.coalesced = true
+		s.waitNext = cl.slots[li].waitHead
+		cl.slots[li].waitHead = int32(si)
+		return true
+	}
+	if lk == lkStale {
+		cl.st.CacheStale++
+	} else {
+		cl.st.CacheMisses++
+	}
+	cl.getInflight[key] = si
+	return false
 }
 
 // primary returns the first live replica of shard sh, or -1.
@@ -267,13 +343,14 @@ func (cl *client) dispatch(p *sim.Proc, si uint32) {
 		sh := cl.svc.shardOf(s.keys[0])
 		t := cl.primary(sh)
 		if t < 0 {
-			cl.terminal(p, si, StatusUnavailable)
+			cl.finishRead(p, si, StatusUnavailable)
 			return
 		}
 		targets[0] = int8(t)
 		if !cl.reserve(si, targets[:], 1) {
 			return
 		}
+		s.sentAt = p.Now() // lease basis: at or before any server-side read
 		reqID := cl.arm(si, 0, t)
 		cl.post(si, 0, t, cl.ep.Request(p, t, cl.svc.hGet, reqID, s.keys[0]))
 
@@ -407,11 +484,20 @@ func (cl *client) onResp(args []uint32) {
 	case phRead:
 		s.status = uint8(status)
 		s.val = val
+		if len(args) > 3 {
+			s.ver = args[3]
+		}
 	case phLock:
 		if status == StatusOK {
 			s.granted[sub] = true
 		} else {
 			s.denied = true
+		}
+	case phCommit:
+		// The commit reply's third word is the key's new version; keep the
+		// max per key so the write completion can raise the cache floor.
+		if i := sub / maxReplicas; i < int(s.nkeys) && val > s.vers[i] {
+			s.vers[i] = val
 		}
 	}
 	if s.await == 0 {
@@ -437,7 +523,7 @@ func (cl *client) advance(p *sim.Proc, si uint32) {
 			cl.dispatch(p, si) // re-route to the next live replica
 			return
 		}
-		cl.terminal(p, si, uint32(s.status))
+		cl.finishRead(p, si, uint32(s.status))
 	case phLock:
 		if s.failed || s.denied {
 			if s.failed {
@@ -493,12 +579,56 @@ func (cl *client) finishUnlock(p *sim.Proc, si uint32) {
 	}
 }
 
+// finishRead retires a leader GET: install the result in the cache (unless
+// an invalidation or newer fill outran the reply — then serve it but do
+// not cache it), complete every coalesced waiter with the same outcome,
+// then retire the leader itself.
+func (cl *client) finishRead(p *sim.Proc, si uint32, status uint32) {
+	s := &cl.slots[si]
+	if cl.cache != nil {
+		if li, ok := cl.getInflight[s.keys[0]]; ok && li == si {
+			delete(cl.getInflight, s.keys[0])
+		}
+		if status == StatusOK || status == StatusNotFound {
+			if s.ver >= s.verFloor {
+				if _, ev := cl.cache.fill(s.keys[0], s.val, s.ver, uint8(status), s.sentAt); ev {
+					cl.st.Evictions++
+				}
+			} else {
+				cl.st.StaleFills++
+			}
+		}
+		for w := s.waitHead; w >= 0; {
+			ws := &cl.slots[w]
+			next := ws.waitNext
+			ws.val, ws.ver = s.val, s.ver
+			cl.terminal(p, uint32(w), status)
+			w = next
+		}
+		s.waitHead = -1
+	}
+	cl.terminal(p, si, status)
+}
+
 // terminal retires the slot with its outcome. Latency is open-loop: from
 // the scheduled arrival (not the issue time), so queueing delay, retries,
 // and failover stalls all count — no coordinated omission.
 func (cl *client) terminal(p *sim.Proc, si uint32, status uint32) {
 	s := &cl.slots[si]
 	now := p.Now()
+	if cl.cache != nil && status == StatusOK && s.op != load.OpGet {
+		// Write completion: raise the written keys' version floors so the
+		// cache can no longer serve (or accept fills of) anything older —
+		// this client reads its own writes back within one round trip.
+		for i := 0; i < int(s.nkeys); i++ {
+			cl.cache.invalidate(s.keys[i], s.vers[i])
+			if li, ok := cl.getInflight[s.keys[i]]; ok {
+				if ls := &cl.slots[li]; s.vers[i] > ls.verFloor {
+					ls.verFloor = s.vers[i]
+				}
+			}
+		}
+	}
 	switch status {
 	case StatusOK, StatusNotFound:
 		cl.st.Completed++
@@ -526,6 +656,25 @@ func (cl *client) terminal(p *sim.Proc, si uint32, status uint32) {
 	s.active = false
 	cl.finished++
 	cl.free.Push(si)
+}
+
+// onInval is the server's invalidation push: args [key, ver]. It runs
+// inside Poll (possibly the post-run drain daemon's), so it only updates
+// cache state — never sends. The pushed version also floors any in-flight
+// fetch of the key, so a reply already in the air cannot re-cache the
+// overwritten value.
+func (cl *client) onInval(args []uint32) {
+	key, ver := args[0], args[1]
+	cl.st.InvalsRecv++
+	if cl.cache == nil {
+		return
+	}
+	cl.cache.invalidate(key, ver)
+	if li, ok := cl.getInflight[key]; ok {
+		if ls := &cl.slots[li]; ver > ls.verFloor {
+			ls.verFloor = ver
+		}
+	}
 }
 
 // onPeerDeath is the endpoint's *am.PeerDeathError observer. It runs inside

@@ -71,6 +71,15 @@ type Config struct {
 	KillServer int      // server to fail-stop mid-run (-1 = none)
 	KillAt     sim.Time // kill time
 
+	// Client read cache (see cache.go). Leases bound staleness; the
+	// invalidation push only shrinks it, so NoInvalPush is safe (and is how
+	// the lease-expiry path is tested).
+	CacheOff    bool     // disable the client read cache and GET coalescing
+	CacheSize   int      // cache entries per client node (default 4096)
+	Lease       sim.Time // read-lease duration (default 100ms)
+	HolderCap   int      // tracked lease holders per key (default/max 4)
+	NoInvalPush bool     // suppress the push; rely on lease expiry alone
+
 	NodePar  int      // intra-run PDES shards (0 = hw.DefaultNodePar)
 	Watchdog sim.Time // RunChecked no-progress budget (default 200ms)
 }
@@ -125,6 +134,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 64
 	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.Lease <= 0 {
+		c.Lease = hw.US(100_000)
+	}
+	if c.HolderCap <= 0 || c.HolderCap > holderMax {
+		c.HolderCap = holderMax
+	}
+	if c.ClientNodes > 1<<16 {
+		return c, fmt.Errorf("kv: ClientNodes %d exceeds the holder encoding (16 bits)", c.ClientNodes)
+	}
 	if c.KillServer == 0 && c.KillAt == 0 {
 		c.KillServer = -1 // zero value means "no kill"
 	}
@@ -156,6 +177,7 @@ const (
 	maxKeys     = 2    // keys per Batch
 	maxReplicas = 3
 	maxTargets  = maxKeys * maxReplicas
+	holderMax   = 4 // inline lease-holder slots per key (see holderSet)
 )
 
 // Service is one instantiated kv cluster: servers, clients, and the shared
@@ -169,7 +191,12 @@ type Service struct {
 	clients   []*client
 	numShards int
 
-	hGet, hLock, hCommitPut, hCommitDel, hUnlock, hDone, hResp am.HandlerID
+	hGet, hLock, hCommitPut, hCommitDel, hUnlock, hDone, hResp, hInval am.HandlerID
+
+	// staleCheck, when set (tests; serial runs only, since it reads server
+	// state from the client's process), observes every cache-served GET:
+	// (key, served version, serve time). It must not mutate anything.
+	staleCheck func(key, ver uint32, now sim.Time)
 }
 
 // New builds the cluster, registers the handler table, and spawns the
@@ -253,6 +280,9 @@ func (svc *Service) registerHandlers() {
 	svc.hResp = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
 		ep.Data.(*client).onResp(args)
 	})
+	svc.hInval = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*client).onInval(args)
+	})
 }
 
 // mix32 is a bijective 32-bit hash (MurmurHash3 finalizer) used to spread
@@ -303,6 +333,18 @@ type Result struct {
 	Failovers   int64 // operations that survived a replica death
 	Deferrals   int64 // dispatches deferred on the per-server in-flight cap
 
+	// Read-cache accounting, summed over client nodes. Every GET is
+	// exactly one of CacheHits, Coalesced, or a fetch (CacheMisses +
+	// CacheStale); with no failover, fetches == ServerOps.Gets.
+	CacheHits   int64
+	CacheMisses int64
+	CacheStale  int64 // present but invalidated or lease-expired
+	Coalesced   int64 // rode another slot's in-flight fetch
+	InvalsRecv  int64 // invalidation pushes delivered to clients
+	Evictions   int64 // LRU evictions
+	StaleFills  int64 // fetches served but not cached (invalidation raced the reply)
+	StaleServed int64 // lease-bound violations: must be 0
+
 	Lat, LatGet, LatWrite trace.Histogram
 
 	Makespan sim.Time // latest client finish time
@@ -316,6 +358,11 @@ type Result struct {
 // ServerOps counts operations served, summed over all servers.
 type ServerOps struct {
 	Gets, Locks, LockDenied, Commits, Deletes, Unlocks int64
+
+	Invals          int64 // invalidation pushes sent
+	InvalsDropped   int64 // pushes skipped (client finished or unreachable)
+	HolderOverflows int64 // GETs not tracked because the holder set was full
+	CommitDups      int64 // failover re-commits deduplicated by version bump
 }
 
 // Throughput is the achieved request rate over the makespan.
@@ -324,6 +371,14 @@ func (r *Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.Completed+r.Conflicts+r.Unavail) / r.Makespan.Seconds()
+}
+
+// HitRate is the fraction of GETs served from the client caches.
+func (r *Result) HitRate() float64 {
+	if r.Gets == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Gets)
 }
 
 // Run drives the simulation to completion and gathers the result. The
@@ -365,6 +420,14 @@ func (svc *Service) gather() *Result {
 		res.LockRetries += st.LockRetries
 		res.Failovers += st.Failovers
 		res.Deferrals += st.Deferrals
+		res.CacheHits += st.CacheHits
+		res.CacheMisses += st.CacheMisses
+		res.CacheStale += st.CacheStale
+		res.Coalesced += st.Coalesced
+		res.InvalsRecv += st.InvalsRecv
+		res.Evictions += st.Evictions
+		res.StaleFills += st.StaleFills
+		res.StaleServed += st.StaleServed
 		res.Lat.Merge(&st.Lat)
 		res.LatGet.Merge(&st.LatGet)
 		res.LatWrite.Merge(&st.LatWrite)
@@ -385,6 +448,10 @@ func (svc *Service) gather() *Result {
 		res.ServerOps.Commits += srv.commits
 		res.ServerOps.Deletes += srv.deletes
 		res.ServerOps.Unlocks += srv.unlocks
+		res.ServerOps.Invals += srv.invalsSent
+		res.ServerOps.InvalsDropped += srv.invalsDropped
+		res.ServerOps.HolderOverflows += srv.holderOverflows
+		res.ServerOps.CommitDups += srv.commitDups
 	}
 	if svc.cfg.KillServer >= 0 {
 		if maxDetect > svc.cfg.KillAt {
@@ -417,6 +484,13 @@ func (svc *Service) foldMetrics(res *Result) {
 	reg.Counter("kv.failovers").Add(res.Failovers)
 	reg.Counter("kv.deferrals").Add(res.Deferrals)
 	reg.Counter("kv.server.lock_denied").Add(res.ServerOps.LockDenied)
+	reg.Counter("kv.cache.hits").Add(res.CacheHits)
+	reg.Counter("kv.cache.misses").Add(res.CacheMisses)
+	reg.Counter("kv.cache.stale").Add(res.CacheStale)
+	reg.Counter("kv.cache.coalesced").Add(res.Coalesced)
+	reg.Counter("kv.cache.evictions").Add(res.Evictions)
+	reg.Counter("kv.cache.invals_recv").Add(res.InvalsRecv)
+	reg.Counter("kv.server.invals").Add(res.ServerOps.Invals)
 }
 
 // ReadKey reads a key from the first live replica's post-run state (tests).
@@ -434,11 +508,14 @@ func (svc *Service) ReadKey(key uint32) (uint32, bool) {
 }
 
 // CheckInvariants verifies the post-run state: no latch is left held on any
-// live server, and every shard's live replicas hold identical stores (the
-// primary-latch write protocol must keep them convergent).
+// live server, and every shard's live replicas hold identical stores and
+// identical per-key version metadata (the primary-latch write protocol plus
+// the commit-dedup version bump must keep both convergent — a version skew
+// would let caches accept fills that resurrect overwritten data).
 func (svc *Service) CheckInvariants() error {
 	for sh := 0; sh < svc.numShards; sh++ {
 		var ref map[uint32]uint32
+		var refMeta map[uint32]keyMeta
 		refSrv := -1
 		for i := 0; i < svc.cfg.Replicas; i++ {
 			srvID := svc.replicaSrv(sh, i)
@@ -450,7 +527,7 @@ func (svc *Service) CheckInvariants() error {
 				return fmt.Errorf("kv: server %d shard %d: %d latches leaked", srvID, sh, n)
 			}
 			if ref == nil {
-				ref, refSrv = s.store, srvID
+				ref, refMeta, refSrv = s.store, s.meta, srvID
 				continue
 			}
 			if len(s.store) != len(ref) {
@@ -463,7 +540,36 @@ func (svc *Service) CheckInvariants() error {
 						sh, k, srvID, w, ok, refSrv, v)
 				}
 			}
+			if len(s.meta) != len(refMeta) {
+				return fmt.Errorf("kv: shard %d: replica %d has %d versioned keys, replica %d has %d",
+					sh, srvID, len(s.meta), refSrv, len(refMeta))
+			}
+			for k, m := range refMeta {
+				if w := s.meta[k]; w.ver != m.ver || w.lastOp != m.lastOp {
+					return fmt.Errorf("kv: shard %d key %d: version skew: replica %d v%d/op%x, replica %d v%d/op%x",
+						sh, k, srvID, w.ver, w.lastOp, refSrv, m.ver, m.lastOp)
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// KeyVersion returns the highest committed version of key across live
+// replicas and the time that version was applied there (tests; the
+// staleness oracle reads it mid-run, so serial runs only).
+func (svc *Service) KeyVersion(key uint32) (uint32, sim.Time) {
+	sh := svc.shardOf(key)
+	var ver uint32
+	var at sim.Time
+	for i := 0; i < svc.cfg.Replicas; i++ {
+		srv := svc.replicaSrv(sh, i)
+		if svc.cluster.Nodes[srv].Killed() {
+			continue
+		}
+		if m := svc.servers[srv].shards[sh].meta[key]; m.ver > ver {
+			ver, at = m.ver, m.verAt
+		}
+	}
+	return ver, at
 }

@@ -7,6 +7,7 @@ import (
 
 	"spam/internal/hw"
 	"spam/internal/kv/load"
+	"spam/internal/sim"
 )
 
 func testConfig(reqs int) Config {
@@ -211,5 +212,203 @@ func TestKVConfigValidation(t *testing.T) {
 	bad.KillServer = 99
 	if _, err := New(bad); err == nil {
 		t.Fatal("out-of-range KillServer accepted")
+	}
+}
+
+// TestKVCacheBookkeeping pins the GET accounting identities on a healthy
+// cached run: every GET is exactly one of hit / coalesced / fetch, and every
+// fetch (miss or stale revalidation) is exactly one server GET. The run is
+// skewed and hot enough that every counter class is actually exercised.
+func TestKVCacheBookkeeping(t *testing.T) {
+	cfg := testConfig(6000)
+	cfg.Keys = 1 << 10
+	cfg.Zipf = 1.3
+	cfg.CacheSize = 64 // smaller than the hot set: forces LRU evictions
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CacheHits + res.CacheMisses + res.CacheStale + res.Coalesced; got != res.Gets {
+		t.Fatalf("GET classes sum to %d, want Gets=%d (hits=%d misses=%d stale=%d coalesced=%d)",
+			got, res.Gets, res.CacheHits, res.CacheMisses, res.CacheStale, res.Coalesced)
+	}
+	if fetches := res.CacheMisses + res.CacheStale; fetches != res.ServerOps.Gets {
+		t.Fatalf("fetches=%d but servers saw %d GETs (healthy run: must match)", fetches, res.ServerOps.Gets)
+	}
+	for name, v := range map[string]int64{
+		"CacheHits": res.CacheHits, "CacheStale": res.CacheStale,
+		"Coalesced": res.Coalesced, "InvalsRecv": res.InvalsRecv, "Evictions": res.Evictions,
+	} {
+		if v == 0 {
+			t.Errorf("%s = 0; the workload isn't exercising that path", name)
+		}
+	}
+	if res.StaleServed != 0 {
+		t.Fatalf("%d lease-bound violations", res.StaleServed)
+	}
+	// Pushes are fire-and-forget, but on a healthy run none are dropped, so
+	// delivered == sent.
+	if res.InvalsRecv != res.ServerOps.Invals {
+		t.Fatalf("clients received %d invalidations, servers sent %d", res.InvalsRecv, res.ServerOps.Invals)
+	}
+}
+
+// TestKVCacheDeterminismSoak: the cached service — LRU state, coalescing
+// chains, invalidation pushes and all — must produce byte-identical Results
+// serial vs 2-, 4-, and 8-shard conservative-parallel runs.
+func TestKVCacheDeterminismSoak(t *testing.T) {
+	run := func(nodePar int) *Result {
+		cfg := testConfig(6000)
+		cfg.Keys = 1 << 10
+		cfg.Zipf = 1.3
+		cfg.CacheSize = 256
+		cfg.NodePar = nodePar
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.CacheHits == 0 || serial.InvalsRecv == 0 {
+		t.Fatalf("soak isn't exercising the cache: hits=%d invals=%d", serial.CacheHits, serial.InvalsRecv)
+	}
+	for _, np := range []int{2, 4, 8} {
+		if sharded := run(np); !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("cached run diverges at -nodepar %d:\nserial:  %+v\nsharded: %+v", np, serial, sharded)
+		}
+	}
+}
+
+// staleOracle attaches a staleCheck hook (serial runs only) that verifies
+// the lease bound on every cache-served GET: a served version may trail the
+// committed one only while the newest commit is younger than the lease (plus
+// slack for replica apply skew — KeyVersion reports the *earliest* live
+// replica apply time of the max version, while the client's lease clock
+// started at its GET dispatch toward one specific replica).
+type staleOracle struct {
+	violations int
+	staleOK    int // stale-but-within-lease serves: proves the test bites
+}
+
+func (o *staleOracle) attach(svc *Service, slack sim.Time) {
+	lease := svc.cfg.Lease
+	svc.staleCheck = func(key, served uint32, now sim.Time) {
+		ver, at := svc.KeyVersion(key)
+		if served >= ver {
+			return
+		}
+		if at+lease+slack <= now {
+			o.violations++
+		} else {
+			o.staleOK++
+		}
+	}
+}
+
+// TestKVLeaseExpiryBound suppresses the invalidation push entirely and
+// shrinks the lease: staleness must then be bounded by the lease alone.
+// The oracle must observe stale-within-lease serves (otherwise the test is
+// vacuous) and zero serves past the lease.
+func TestKVLeaseExpiryBound(t *testing.T) {
+	cfg := testConfig(6000)
+	cfg.Keys = 256 // hot keys: reads race writes constantly
+	cfg.Zipf = 1.3
+	cfg.Rate = 400e3
+	cfg.NoInvalPush = true
+	cfg.Lease = hw.US(3000)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o staleOracle
+	o.attach(svc, hw.US(1000))
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvalsRecv != 0 || res.ServerOps.Invals != 0 {
+		t.Fatalf("push suppressed but %d/%d invalidations flowed", res.ServerOps.Invals, res.InvalsRecv)
+	}
+	if o.staleOK == 0 {
+		t.Fatal("no stale-within-lease serves observed; the oracle isn't being exercised")
+	}
+	if o.violations != 0 {
+		t.Fatalf("%d serves past the lease bound (%d stale-within-lease were fine)", o.violations, o.staleOK)
+	}
+	if res.StaleServed != 0 {
+		t.Fatalf("client-side lease check tripped %d times", res.StaleServed)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVCacheKillSoak kills a server mid-run with the cache on: failover
+// re-commits and dead lease holders must never widen the staleness bound
+// (oracle + client-side check), replicas must stay convergent, and the
+// verdict must be identical serial vs -nodepar 4.
+func TestKVCacheKillSoak(t *testing.T) {
+	mkCfg := func(nodePar int) Config {
+		cfg := testConfig(6000)
+		cfg.Keys = 1 << 10
+		cfg.Zipf = 1.3
+		cfg.Rate = 200e3
+		cfg.KillServer = 1
+		cfg.KillAt = hw.US(3000)
+		cfg.NodePar = nodePar
+		return cfg
+	}
+	// Serial run with the staleness oracle attached (it reads server state
+	// from the client's process, so it is serial-only).
+	svc, err := New(mkCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o staleOracle
+	o.attach(svc, hw.US(2000)) // extra slack: failover stretches apply skew
+	oracled, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.violations != 0 {
+		t.Fatalf("%d serves past the lease bound during failover", o.violations)
+	}
+	if oracled.StaleServed != 0 {
+		t.Fatalf("client-side lease check tripped %d times", oracled.StaleServed)
+	}
+	if oracled.Failovers == 0 || oracled.CacheHits == 0 {
+		t.Fatalf("soak not biting: failovers=%d hits=%d", oracled.Failovers, oracled.CacheHits)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: the same config without the oracle, serial vs sharded.
+	run := func(nodePar int) *Result {
+		res, err := Run(mkCfg(nodePar))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if serial, sharded := run(1), run(4); !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("cached kill run diverges under -nodepar 4:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+}
+
+// TestKVCacheOff: with the cache disabled every GET is a server fetch and
+// no cache machinery runs — the pre-cache behavior is still reachable.
+func TestKVCacheOff(t *testing.T) {
+	cfg := testConfig(3000)
+	cfg.CacheOff = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits+res.CacheMisses+res.CacheStale+res.Coalesced+res.InvalsRecv != 0 {
+		t.Fatalf("cache-off run recorded cache activity: %+v", res)
+	}
+	if res.Gets != res.ServerOps.Gets {
+		t.Fatalf("cache off: client GETs %d != server GETs %d", res.Gets, res.ServerOps.Gets)
 	}
 }

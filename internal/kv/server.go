@@ -3,27 +3,49 @@ package kv
 import (
 	"spam/internal/am"
 	"spam/internal/hw"
+	"spam/internal/ring"
 	"spam/internal/sim"
 )
 
-// server is one server node's state: the shard replicas it hosts and the
-// operation counters. All handlers run inside the node's Poll and only
-// Reply (the GAM handler rule); the steady-state path performs no heap
-// allocations — shard maps are pre-sized, replies are value messages on
-// warmed rings.
+// invalEnt is one queued invalidation push: tell client cl that key is now
+// at version ver. Handlers may only reply (the GAM rule), so commits queue
+// these and the server loop sends them between Polls.
+type invalEnt struct {
+	cl  uint16
+	key uint32
+	ver uint32
+}
+
+// server is one server node's state: the shard replicas it hosts, the
+// pending invalidation pushes, and the operation counters. All handlers
+// run inside the node's Poll and only Reply (the GAM handler rule); the
+// steady-state path performs no heap allocations — shard maps are
+// pre-sized, replies are value messages on warmed rings, and the
+// invalidation ring is warmed by its first few pushes.
 type server struct {
 	svc    *Service
 	id     int
 	ep     *am.Endpoint
 	shards []*shard // indexed by global shard id; nil when not hosted
 
-	done int // done announcements received (one per client node)
+	push       bool // track lease holders and push invalidations
+	invalq     ring.Ring[invalEnt]
+	clientDone []bool // per client node: done announcement received
+	done       int    // done announcements received (one per client node)
 
-	gets, locks, lockDenied, commits, deletes, unlocks int64
+	gets, locks, lockDenied, commits, deletes, unlocks     int64
+	invalsSent, invalsDropped, holderOverflows, commitDups int64
 }
 
 func newServer(svc *Service, id int, ep *am.Endpoint) *server {
-	s := &server{svc: svc, id: id, ep: ep, shards: make([]*shard, svc.numShards)}
+	s := &server{
+		svc:        svc,
+		id:         id,
+		ep:         ep,
+		shards:     make([]*shard, svc.numShards),
+		push:       !svc.cfg.CacheOff && !svc.cfg.NoInvalPush,
+		clientDone: make([]bool, svc.cfg.ClientNodes),
+	}
 	// Pre-size each hosted shard's store for its expected share of the
 	// keyspace with generous headroom, so map growth never happens on the
 	// handler path.
@@ -36,13 +58,36 @@ func newServer(svc *Service, id int, ep *am.Endpoint) *server {
 	return s
 }
 
-// run polls until every client node has announced completion, then drains.
-// A fail-stopped server detaches at its next Poll.
+// run polls until every client node has announced completion, draining the
+// invalidation queue between Polls, then drains the endpoint. A
+// fail-stopped server detaches at its next Poll.
 func (s *server) run(p *sim.Proc, n *hw.Node) {
 	for s.done < s.svc.cfg.ClientNodes {
 		s.ep.Poll(p)
+		s.drainInvals(p)
 	}
+	s.drainInvals(p)
 	s.ep.Drain(p, 0)
+}
+
+// drainInvals sends the queued invalidation pushes. It runs in the server
+// loop only (never in a handler): Request blocks until injected and polls,
+// which can invoke commit handlers that queue more pushes — the loop
+// drains those too. A push to a finished client is dropped: its cache
+// serves no one, and correctness rides the lease either way.
+func (s *server) drainInvals(p *sim.Proc) {
+	for s.invalq.Len() > 0 {
+		e := s.invalq.Pop()
+		if s.clientDone[e.cl] {
+			s.invalsDropped++
+			continue
+		}
+		if err := s.ep.Request(p, s.svc.cfg.Servers+int(e.cl), s.svc.hInval, e.key, e.ver); err != nil {
+			s.invalsDropped++
+			continue
+		}
+		s.invalsSent++
+	}
 }
 
 // shardFor locates the hosted shard for key; a miss is a routing bug, and
@@ -55,16 +100,90 @@ func (s *server) shardFor(key uint32) *shard {
 	return sh
 }
 
-// onGet: args [reqID, key] -> reply [reqID, status, value].
+// registerHolder records the requesting client as a lease holder of key.
+// The server-side expiry starts at the current (reply) time, which is
+// strictly after the client's own lease basis (its dispatch time), so
+// skipping an "expired" holder can never skip a client still inside its
+// lease. A full set stops tracking: the untracked cache falls back to
+// plain lease expiry, which correctness never depends on anyway.
+func (s *server) registerHolder(now sim.Time, sh *shard, key uint32, src int) {
+	cli := uint16(src - s.svc.cfg.Servers)
+	h := sh.holders[key]
+	exp := now + s.svc.cfg.Lease
+	free := -1
+	for i := 0; i < int(h.n); i++ {
+		if h.cl[i] == cli {
+			h.exp[i] = exp
+			sh.holders[key] = h
+			return
+		}
+		if h.exp[i] <= now && free < 0 {
+			free = i
+		}
+	}
+	switch {
+	case int(h.n) < s.svc.cfg.HolderCap:
+		h.cl[h.n], h.exp[h.n] = cli, exp
+		h.n++
+	case free >= 0:
+		h.cl[free], h.exp[free] = cli, exp
+	default:
+		s.holderOverflows++
+		return // nothing written back; the set is full of live holders
+	}
+	sh.holders[key] = h
+}
+
+// bump advances key's version for this commit unless it is a replay (a
+// failover re-commit of the same operation — commits must stay idempotent
+// in the version domain too, or replicas would diverge). The dedup id
+// pairs the txn word (client node + slot) with the slot generation from
+// the request id; together they name one operation uniquely even as slots
+// are reused. A genuine bump queues invalidation pushes to the key's
+// tracked lease holders, excluding the writer (its own completion carries
+// the version already).
+func (s *server) bump(now sim.Time, sh *shard, key, txn, reqID uint32) uint32 {
+	m := sh.meta[key]
+	op := uint64(txn)<<16 | uint64(reqID>>16)
+	if m.lastOp == op {
+		s.commitDups++
+		return m.ver
+	}
+	m.ver++
+	m.lastOp = op
+	m.verAt = now
+	sh.meta[key] = m
+	if s.push {
+		if h, ok := sh.holders[key]; ok {
+			writer := uint16(txn >> 12 & 0x7FFFF)
+			for i := 0; i < int(h.n); i++ {
+				if h.cl[i] != writer && h.exp[i] > now {
+					s.invalq.Push(invalEnt{cl: h.cl[i], key: key, ver: m.ver})
+				}
+			}
+			delete(sh.holders, key)
+		}
+	}
+	return m.ver
+}
+
+// onGet: args [reqID, key] -> reply [reqID, status, value, version]. The
+// reply stamps the key's commit version and implicitly grants a Lease-long
+// read lease; unless the cache is disabled the client is recorded as a
+// holder so the next commit can push an invalidation.
 func (s *server) onGet(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
 	reqID, key := args[0], args[1]
 	s.gets++
-	v, ok := s.shardFor(key).store[key]
+	sh := s.shardFor(key)
+	v, ok := sh.store[key]
 	st := StatusOK
 	if !ok {
 		st = StatusNotFound
 	}
-	ep.Reply(p, tok, s.svc.hResp, reqID, st, v)
+	if s.push {
+		s.registerHolder(p.Now(), sh, key, tok.Src)
+	}
+	ep.Reply(p, tok, s.svc.hResp, reqID, st, v, sh.meta[key].ver)
 }
 
 // onLock: args [reqID, txn, key] -> reply [reqID, OK|Locked, 0].
@@ -79,24 +198,32 @@ func (s *server) onLock(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint3
 	ep.Reply(p, tok, s.svc.hResp, reqID, st, 0)
 }
 
-// onCommitPut: args [reqID, txn, key, val]. The value is applied
-// unconditionally: the client only commits while holding the key's primary
-// latch, which serializes writers, and re-commits after a failover are
-// idempotent. The latch (held at the primary only) is released by a
-// separate unlock once every replica has acknowledged.
+// onCommitPut: args [reqID, txn, key, val] -> reply [reqID, OK, version].
+// The value is applied unconditionally: the client only commits while
+// holding the key's primary latch, which serializes writers, and
+// re-commits after a failover are idempotent (bump dedups the version).
+// The latch (held at the primary only) is released by a separate unlock
+// once every replica has acknowledged.
 func (s *server) onCommitPut(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
-	reqID, key, val := args[0], args[2], args[3]
+	reqID, txn, key, val := args[0], args[1], args[2], args[3]
 	s.commits++
-	s.shardFor(key).store[key] = val
-	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, 0)
+	sh := s.shardFor(key)
+	ver := s.bump(p.Now(), sh, key, txn, reqID)
+	sh.store[key] = val
+	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, ver)
 }
 
-// onCommitDel: args [reqID, txn, key] — the delete-flavored commit.
+// onCommitDel: args [reqID, txn, key] — the delete-flavored commit. The
+// key's version keeps climbing through the delete (meta is kept outside
+// the store), so caches holding the old value are invalidated exactly like
+// a put, and the NotFound they re-read is itself cacheable.
 func (s *server) onCommitDel(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
-	reqID, key := args[0], args[2]
+	reqID, txn, key := args[0], args[1], args[2]
 	s.deletes++
-	delete(s.shardFor(key).store, key)
-	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, 0)
+	sh := s.shardFor(key)
+	ver := s.bump(p.Now(), sh, key, txn, reqID)
+	delete(sh.store, key)
+	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, ver)
 }
 
 // onUnlock: args [reqID, txn, key] -> reply [reqID, OK, 0].
@@ -108,7 +235,11 @@ func (s *server) onUnlock(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uin
 }
 
 // onDone: args [clientIdx]. No reply — the request's delivery is already
-// reliable, and the client is only announcing termination.
+// reliable, and the client is only announcing termination. Pushes still
+// queued for that client are dropped at drain time.
 func (s *server) onDone(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
-	s.done++
+	if cl := int(args[0]); cl < len(s.clientDone) && !s.clientDone[cl] {
+		s.clientDone[cl] = true
+		s.done++
+	}
 }

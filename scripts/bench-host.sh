@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench-host.sh — run the host-time microbenchmarks and snapshot them as
-# BENCH_host.json (schema spam-host-bench/v4).
+# BENCH_host.json (schema spam-host-bench/v5).
 #
 # Two benchmark families feed the snapshot:
 #   - internal/sim:  engine event-loop cost (ns/dispatch, events/sec) — the
@@ -18,7 +18,10 @@
 # "nodepar" member: the same -paper regeneration under `-nodepar auto`,
 # with the resolved shard count and GOMAXPROCS, so the snapshot records
 # what intra-run parallelism buys (or costs) on this host next to the
-# serial wall it is measured against.
+# serial wall it is measured against. v5 adds the "kv_cache" member: the
+# same served-workload point under the read-mostly mix with the client
+# read cache on, recording the hit rate and the cached GET p99 — also
+# simulated-time quantities, so drift means a coherence-protocol change.
 #
 # Every run also appends a dated one-line copy of the snapshot (plus the
 # git SHA it was measured at) to results/bench-history.jsonl, so perf over
@@ -72,17 +75,24 @@ if [[ "${SKIP_PAPER:-0}" != 1 ]]; then
 fi
 
 kv_json=null
+kvcache_json=null
 if [[ "${SKIP_KV:-0}" != 1 ]]; then
 	kv_out=$(go run ./cmd/kv-bench -rate 100000 -reqs 20000 -clients 100000 -json)
 	kv_ops=$(printf '%s\n' "$kv_out" | awk '/"name": "kv_saturation"/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
 	kv_p99=$(printf '%s\n' "$kv_out" | awk '/"name": "kv_p99@/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
 	echo "kv-bench -rate 100000: ${kv_ops} req/s achieved, p99 ${kv_p99} us (simulated)" >&2
 	kv_json="{\"name\": \"kv-bench -rate 100000\", \"ops_per_sec\": ${kv_ops}, \"p99_us\": ${kv_p99}}"
+
+	kvc_out=$(go run ./cmd/kv-bench -rate 100000 -reqs 20000 -clients 100000 -mix readmostly -json)
+	kvc_hit=$(printf '%s\n' "$kvc_out" | awk '/"name": "kv_hit_rate"/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
+	kvc_p99=$(printf '%s\n' "$kvc_out" | awk '/"name": "kv_get_p99@/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
+	echo "kv-bench readmostly cached: hit rate ${kvc_hit}, GET p99 ${kvc_p99} us (simulated)" >&2
+	kvcache_json="{\"name\": \"kv-bench -rate 100000 -mix readmostly\", \"hit_rate\": ${kvc_hit}, \"get_p99_us\": ${kvc_p99}}"
 fi
 
 {
 	echo '{'
-	echo '  "schema": "spam-host-bench/v4",'
+	echo '  "schema": "spam-host-bench/v5",'
 	awk '
 		/^goos:/   { if (!goos)   { printf("  \"goos\": \"%s\",\n", $2); goos=1 } }
 		/^goarch:/ { if (!goarch) { printf("  \"goarch\": \"%s\",\n", $2); goarch=1 } }
@@ -119,6 +129,7 @@ fi
 	' "$tmp"
 	echo '  ],'
 	echo "  \"kv\": $kv_json,"
+	echo "  \"kv_cache\": $kvcache_json,"
 	echo "  \"nodepar\": $nodepar_json,"
 	echo "  \"end_to_end\": {\"name\": \"splitc-bench -paper\", \"wall_seconds\": $paper_wall}"
 	echo '}'
@@ -133,7 +144,7 @@ if [[ "${SKIP_HISTORY:-0}" != 1 ]]; then
 	# The benchmark rows in $out each sit on one line; join them into a
 	# one-line array for the append-only history log.
 	rows=$(sed -n '/"benchmarks": \[/,/^  \],$/p' "$out" | sed '1d;$d;s/^ *//' | tr '\n' ' ' | sed 's/ $//')
-	printf '{"schema": "spam-host-bench/v4", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "nodepar": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
-		"$stamp" "$sha" "$rows" "$kv_json" "$nodepar_json" "$paper_wall" >>"$hist"
+	printf '{"schema": "spam-host-bench/v5", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "kv_cache": %s, "nodepar": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
+		"$stamp" "$sha" "$rows" "$kv_json" "$kvcache_json" "$nodepar_json" "$paper_wall" >>"$hist"
 	echo "appended history row to $hist" >&2
 fi

@@ -26,11 +26,20 @@
 # cores it must merely stay cheap: ratio <= 1.35, the coordination-
 # overhead bound.
 #
+# With GATE_KVCACHE=1 the script runs the served workload cached and
+# uncached at the same offered load (read-mostly mix, default skew) and
+# gates the client read cache's contract directly: the cached GET p99 must
+# be at least KVCACHE_RATIO (default 2.0) times better than cache-off, and
+# the hit rate at least KVCACHE_HITRATE (default 0.60). Both quantities are
+# simulated-time, deterministic on any host — a failure is a coherence or
+# eviction behavior change, never noise.
+#
 #   scripts/bench-regress.sh                    # compare vs BENCH_host.json
 #   scripts/bench-regress.sh baseline.json      # custom baseline
 #   FACTOR=3 scripts/bench-regress.sh           # looser threshold
 #   BENCHTIME=2s scripts/bench-regress.sh       # steadier measurement
 #   GATE_NODEPAR=1 scripts/bench-regress.sh     # also gate -nodepar speedup
+#   GATE_KVCACHE=1 scripts/bench-regress.sh     # also gate the read cache
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -118,6 +127,35 @@ if [[ -n "$kv_base" && -n "$kv_now" ]]; then
 elif [[ -n "$kv_base" ]]; then
 	echo "FAIL kv row in baseline but missing from current run" >&2
 	exit 1
+fi
+
+# Read-cache gate: cached vs uncached served workload at the same offered
+# load. The quantities are simulated-time, so the comparison is exact; the
+# two runs differ only in -cache.
+if [[ "${GATE_KVCACHE:-0}" == 1 ]]; then
+	kvc_metric() { # kvc_metric <json> <name-prefix>
+		printf '%s\n' "$1" | awk -v pat="\"name\": \"$2" \
+			'index($0, pat){f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}'
+	}
+	kvc_flags=(-rate 300000 -reqs 10000 -clients 100000 -mix readmostly -json)
+	on=$(go run ./cmd/kv-bench "${kvc_flags[@]}")
+	off=$(go run ./cmd/kv-bench "${kvc_flags[@]}" -cache=false)
+	hit=$(kvc_metric "$on" kv_hit_rate)
+	p99_on=$(kvc_metric "$on" 'kv_get_p99@')
+	p99_off=$(kvc_metric "$off" 'kv_get_p99@')
+	awk -v hit="$hit" -v on="$p99_on" -v off="$p99_off" \
+		-v minratio="${KVCACHE_RATIO:-2.0}" -v minhit="${KVCACHE_HITRATE:-0.60}" '
+		BEGIN {
+			bad = 0
+			ratio = off / on
+			rs = (ratio >= minratio) ? "ok  " : "FAIL"
+			hs = (hit >= minhit) ? "ok  " : "FAIL"
+			if (rs == "FAIL" || hs == "FAIL") bad = 1
+			printf("%s kv cached GET p99  %10.4g us vs %10.4g us uncached  (%.1fx, need >= %.2gx)\n",
+			       rs, on, off, ratio, minratio)
+			printf("%s kv cache hit rate  %10.3f  (need >= %.2f)\n", hs, hit, minhit)
+			exit bad
+		}'
 fi
 
 # Intra-run parallelism gate (schema v4): ratio of -nodepar auto to serial
