@@ -9,6 +9,8 @@
 //	kv-bench -rate 200e3         # single offered-load point
 //	kv-bench -cachetable         # hit rate + cached-vs-uncached GET tail vs skew
 //	kv-bench -cache=false        # disable the client read cache
+//	kv-bench -writetable         # write batching/combining vs per-op path across -mixes
+//	kv-bench -writebatch=false   # disable client commit batching
 //	kv-bench -chaos kill         # fail-stop a server mid-run, report failover
 //	kv-bench -json               # machine-readable saturation + tail metrics
 //
@@ -37,13 +39,19 @@ func main() {
 	keys := flag.Int("keys", 1<<16, "keyspace size")
 	reqs := flag.Int("reqs", 50_000, "requests per sweep point")
 	seed := flag.Uint64("seed", 1, "run seed")
-	mixName := flag.String("mix", "default", "operation mix: default (80/15/3/2), readmostly (95/5), nobatch")
+	mixName := flag.String("mix", "default", "operation mix: default (80/15/3/2), readmostly (95/5), writeheavy (50/45), updateskew (10/85), nobatch")
 	cache := flag.Bool("cache", true, "client read cache (versioned leases + invalidation push)")
 	cacheSize := flag.Int("cachesize", 4096, "cache entries per client node")
 	leaseUS := flag.Float64("lease", 100_000, "read-lease duration in us of simulated time")
 	noPush := flag.Bool("nopush", false, "suppress the invalidation push (lease-expiry-only coherence)")
 	cacheTable := flag.Bool("cachetable", false, "print the hit-rate / cached-vs-uncached table across -skews (read-mostly mix unless -mix is given)")
 	skews := flag.String("skews", "1.00,1.10,1.30,1.50", "comma-separated Zipf skews for -cachetable")
+	writeTable := flag.Bool("writetable", false, "print the write batching/combining vs per-op-path table across -mixes")
+	mixesSpec := flag.String("mixes", "writeheavy,updateskew", "comma-separated operation mixes for -writetable")
+	writeBatch := flag.Bool("writebatch", true, "client commit batching + server write combining")
+	batchOps := flag.Int("batchops", 0, "max PUTs per commit batch (0 = default 16, cap 32)")
+	batchWindowUS := flag.Float64("batchwindow", 0, "batch flush window in us of simulated time (0 = default 20)")
+	fixedBackoff := flag.Bool("fixedbackoff", false, "fixed-delay lock retries (pre-batching baseline) instead of exponential backoff")
 	chaos := flag.String("chaos", "", "chaos mode: 'kill' fail-stops a server mid-run")
 	killat := flag.Float64("killat", 5000, "kill time in us of simulated time (-chaos kill)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
@@ -69,6 +77,12 @@ func main() {
 		CacheSize:      *cacheSize,
 		Lease:          hw.US(*leaseUS),
 		NoInvalPush:    *noPush,
+		BatchOff:       !*writeBatch,
+		BatchOps:       *batchOps,
+		LegacyRetry:    *fixedBackoff,
+	}
+	if *batchWindowUS > 0 {
+		base.BatchWindow = hw.US(*batchWindowUS)
 	}
 	rates := bench.KVDefaultRates()
 	if *rate > 0 {
@@ -87,6 +101,14 @@ func main() {
 			base.Rate = *rate
 		}
 		bench.KVCacheTable(os.Stdout, base, sk)
+	case *writeTable:
+		names, mixes, err := load.ParseMixes(*mixesSpec)
+		check(err)
+		base.Rate = 200e3
+		if *rate > 0 {
+			base.Rate = *rate
+		}
+		bench.KVWriteTable(os.Stdout, base, names, mixes)
 	case *chaos == "kill":
 		base.Rate = rates[len(rates)-1] / 2 // hold the service below saturation while failing over
 		if *rate > 0 {

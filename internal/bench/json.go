@@ -11,8 +11,10 @@ import (
 // JSONSchemaVersion identifies the machine-readable report layout; bump it
 // on any incompatible change so downstream consumers can dispatch.
 // Schema 2 adds the kv_cache member and kv_classes per-op-class quantiles
-// to kv-bench reports (absent members mean "not a kv run").
-const JSONSchemaVersion = 2
+// to kv-bench reports (absent members mean "not a kv run"). Schema 3 adds
+// the kv_write member (commit batching / write combining / backoff
+// accounting) and the kv_put_p99@... metric.
+const JSONSchemaVersion = 3
 
 // JSONMetric is one measurement in a machine-readable bench report.
 type JSONMetric struct {
@@ -37,6 +39,18 @@ type KVCacheJSON struct {
 	HitRate      float64 `json:"hit_rate"`
 }
 
+// KVWriteJSON is the write-contention accounting of a kv-bench report
+// (schema 3): commit batching, server-side write combining, and the
+// adaptive-backoff retry counters.
+type KVWriteJSON struct {
+	Batches      int64   `json:"batches"`
+	BatchedPuts  int64   `json:"batched_puts"`
+	CombinedPuts int64   `json:"combined_puts"`
+	Backoffs     int64   `json:"backoffs"`
+	LatchDenies  int64   `json:"latch_denies"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+}
+
 // KVClassJSON is one operation class's latency tail in a kv-bench report
 // (schema 2): class is "all", "get", or "write".
 type KVClassJSON struct {
@@ -53,6 +67,7 @@ type JSONReport struct {
 	Schema    int           `json:"schema"`
 	Metrics   []JSONMetric  `json:"metrics"`
 	KVCache   *KVCacheJSON  `json:"kv_cache,omitempty"`
+	KVWrite   *KVWriteJSON  `json:"kv_write,omitempty"`
 	KVClasses []KVClassJSON `json:"kv_classes,omitempty"`
 }
 

@@ -10,8 +10,8 @@ import (
 )
 
 // TestKVReportJSONRoundTrip runs a small kv sweep through WriteJSONReport and
-// parses the bytes back: the schema-2 members (kv_cache, kv_classes) must
-// survive the trip with consistent accounting, so downstream consumers
+// parses the bytes back: the kv members (kv_cache, kv_classes, kv_write)
+// must survive the trip with consistent accounting, so downstream consumers
 // (bench-host.sh, bench-regress.sh) can rely on the layout.
 func TestKVReportJSONRoundTrip(t *testing.T) {
 	base := kv.Config{
@@ -31,7 +31,7 @@ func TestKVReportJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("report does not parse back: %v\n%s", err, buf.String())
 	}
-	if got.Schema != JSONSchemaVersion || JSONSchemaVersion != 2 {
+	if got.Schema != JSONSchemaVersion || JSONSchemaVersion != 3 {
 		t.Fatalf("schema = %d, want %d", got.Schema, JSONSchemaVersion)
 	}
 	if got.Command != "kv-bench" {
@@ -46,6 +46,13 @@ func TestKVReportJSONRoundTrip(t *testing.T) {
 	}
 	if got.KVCache == nil {
 		t.Fatal("kv_cache member absent from a kv report")
+	}
+	if got.KVWrite == nil {
+		t.Fatal("kv_write member absent from a kv report")
+	}
+	if w := got.KVWrite; w.BatchedPuts < 0 || w.CombinedPuts > w.BatchedPuts ||
+		(w.Batches > 0 && w.AvgBatchSize < 2) {
+		t.Fatalf("implausible write accounting: %+v", w)
 	}
 	c := got.KVCache
 	if c.Hits == 0 || c.HitRate <= 0 || c.HitRate > 1 {
@@ -87,7 +94,8 @@ func TestNonKVReportOmitsCacheMembers(t *testing.T) {
 	if err := WriteJSONReport(&buf, Table2Report()); err != nil {
 		t.Fatal(err)
 	}
-	if bytes.Contains(buf.Bytes(), []byte("kv_cache")) || bytes.Contains(buf.Bytes(), []byte("kv_classes")) {
+	if bytes.Contains(buf.Bytes(), []byte("kv_cache")) || bytes.Contains(buf.Bytes(), []byte("kv_classes")) ||
+		bytes.Contains(buf.Bytes(), []byte("kv_write")) {
 		t.Fatalf("non-kv report leaked kv members:\n%s", buf.String())
 	}
 	var got JSONReport

@@ -6,9 +6,17 @@ import (
 
 	"spam/internal/hw"
 	"spam/internal/kv"
+	"spam/internal/kv/load"
 	"spam/internal/sim"
 	"spam/internal/trace"
 )
+
+// qUS reads one latency quantile out of a histogram in microseconds — the
+// single conversion point from the simulator's nanosecond Time to the
+// microsecond figures every kv table and JSON report prints.
+func qUS(h *trace.Histogram, q float64) float64 {
+	return float64(h.Quantile(q)) / 1e3
+}
 
 // KVPoint is one offered-load point of a kv tail-latency sweep.
 type KVPoint struct {
@@ -56,9 +64,7 @@ func KVTailTable(w io.Writer, base kv.Config, rates []float64) {
 		r := pt.Res
 		fmt.Fprintf(w, "%-12.0f %12.0f %9.1f %9.1f %9.1f %10d %9d %9d %6.1f\n",
 			pt.OfferedRPS, r.Throughput(),
-			float64(r.Lat.Quantile(0.5))/1e3,
-			float64(r.Lat.Quantile(0.99))/1e3,
-			float64(r.Lat.Quantile(0.999))/1e3,
+			qUS(&r.Lat, 0.5), qUS(&r.Lat, 0.99), qUS(&r.Lat, 0.999),
 			r.LockRetries, r.Conflicts, r.Unavail,
 			100*r.HitRate())
 	}
@@ -107,8 +113,8 @@ func KVCacheTable(w io.Writer, base kv.Config, skews []float64) {
 	for i, s := range skews {
 		on, off := runs[2*i], runs[2*i+1]
 		ratio := 0.0
-		if p := float64(on.LatGet.Quantile(0.99)); p > 0 {
-			ratio = float64(off.LatGet.Quantile(0.99)) / p
+		if p := qUS(&on.LatGet, 0.99); p > 0 {
+			ratio = qUS(&off.LatGet, 0.99) / p
 		}
 		stalePct := 0.0
 		if on.Gets > 0 {
@@ -116,8 +122,53 @@ func KVCacheTable(w io.Writer, base kv.Config, skews []float64) {
 		}
 		fmt.Fprintf(w, "%-6.2f %6.1f %7.1f %9d %8d %10.1f %10.1f | %10.1f %10.1f %8.1fx\n",
 			s, 100*on.HitRate(), stalePct, on.Coalesced, on.InvalsRecv,
-			float64(on.LatGet.Quantile(0.5))/1e3, float64(on.LatGet.Quantile(0.99))/1e3,
-			float64(off.LatGet.Quantile(0.5))/1e3, float64(off.LatGet.Quantile(0.99))/1e3,
+			qUS(&on.LatGet, 0.5), qUS(&on.LatGet, 0.99),
+			qUS(&off.LatGet, 0.5), qUS(&off.LatGet, 0.99),
+			ratio)
+	}
+}
+
+// KVWriteTable sweeps operation mixes at a fixed offered rate and prints,
+// per mix, the write-contention economics — the fraction of PUTs that rode
+// a multi-op batch, the mean flushed batch size, the same-key writes the
+// servers combined (last-writer-wins), latch denials, and backoff sleeps —
+// beside the write tail with batching+adaptive backoff on versus the
+// pre-change per-op path (BatchOff + LegacyRetry). Both arms see the
+// identical arrival schedule (the load generator draws are independent of
+// service behavior), so the p99 ratio isolates what batching buys.
+func KVWriteTable(w io.Writer, base kv.Config, names []string, mixes []load.Mix) {
+	runs := Sweep(2*len(mixes), func(i int) *kv.Result {
+		cfg := base
+		cfg.Mix = mixes[i/2]
+		if i%2 == 1 {
+			cfg.BatchOff = true
+			cfg.LegacyRetry = true
+		}
+		res, err := kv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: kv write point mix %s: %v", names[i/2], err))
+		}
+		return res
+	})
+	fmt.Fprintf(w, "# kv-bench: write batching + combining vs the per-op path across mixes (%d servers, %d client nodes, %.0f rps offered, zipf %.2f, %d keys, %d reqs/point, %s)\n",
+		base.Servers, base.ClientNodes, base.Rate, base.Zipf, keysOrDefault(base.Keys), base.Requests, cacheDesc(base))
+	fmt.Fprintf(w, "%-11s %8s %8s %6s %9s %7s %9s %9s %9s | %9s %9s %9s\n",
+		"mix", "puts", "batched%", "avg_b", "combined", "denies", "backoffs", "put_p50us", "put_p99us", "off_p50us", "off_p99us", "p99_ratio")
+	for i, name := range names {
+		on, off := runs[2*i], runs[2*i+1]
+		batchedPct := 0.0
+		if on.Puts > 0 {
+			batchedPct = 100 * float64(on.BatchedPuts) / float64(on.Puts)
+		}
+		ratio := 0.0
+		if p := qUS(&on.LatWrite, 0.99); p > 0 {
+			ratio = qUS(&off.LatWrite, 0.99) / p
+		}
+		fmt.Fprintf(w, "%-11s %8d %8.1f %6.1f %9d %7d %9d %9.1f %9.1f | %9.1f %9.1f %8.1fx\n",
+			name, on.Puts, batchedPct, on.BatchSize.Mean(),
+			on.CombinedPuts, on.LockRetries, on.Backoffs,
+			qUS(&on.LatWrite, 0.5), qUS(&on.LatWrite, 0.99),
+			qUS(&off.LatWrite, 0.5), qUS(&off.LatWrite, 0.99),
 			ratio)
 	}
 }
@@ -171,10 +222,11 @@ func KVReport(base kv.Config, rates []float64) JSONReport {
 	}
 	r.Metrics = append(r.Metrics,
 		JSONMetric{Name: "kv_saturation", Value: satur, Unit: "req/s"},
-		JSONMetric{Name: fmt.Sprintf("kv_p50@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.5)) / 1e3, Unit: "us"},
-		JSONMetric{Name: fmt.Sprintf("kv_p99@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.99)) / 1e3, Unit: "us"},
-		JSONMetric{Name: fmt.Sprintf("kv_p999@%.0frps", best.OfferedRPS), Value: float64(best.Res.Lat.Quantile(0.999)) / 1e3, Unit: "us"},
-		JSONMetric{Name: fmt.Sprintf("kv_get_p99@%.0frps", best.OfferedRPS), Value: float64(best.Res.LatGet.Quantile(0.99)) / 1e3, Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_p50@%.0frps", best.OfferedRPS), Value: qUS(&best.Res.Lat, 0.5), Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_p99@%.0frps", best.OfferedRPS), Value: qUS(&best.Res.Lat, 0.99), Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_p999@%.0frps", best.OfferedRPS), Value: qUS(&best.Res.Lat, 0.999), Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_get_p99@%.0frps", best.OfferedRPS), Value: qUS(&best.Res.LatGet, 0.99), Unit: "us"},
+		JSONMetric{Name: fmt.Sprintf("kv_put_p99@%.0frps", best.OfferedRPS), Value: qUS(&best.Res.LatWrite, 0.99), Unit: "us"},
 		JSONMetric{Name: "kv_hit_rate", Value: best.Res.HitRate(), Unit: "frac"})
 	res := best.Res
 	r.KVCache = &KVCacheJSON{
@@ -192,6 +244,14 @@ func KVReport(base kv.Config, rates []float64) JSONReport {
 		kvClassRow("get", &res.LatGet),
 		kvClassRow("write", &res.LatWrite),
 	}
+	r.KVWrite = &KVWriteJSON{
+		Batches:      res.WriteBatches,
+		BatchedPuts:  res.BatchedPuts,
+		CombinedPuts: res.CombinedPuts,
+		Backoffs:     res.Backoffs,
+		LatchDenies:  res.LockRetries,
+		AvgBatchSize: res.BatchSize.Mean(),
+	}
 	return r
 }
 
@@ -199,9 +259,9 @@ func kvClassRow(class string, h *trace.Histogram) KVClassJSON {
 	return KVClassJSON{
 		Class:  class,
 		Count:  h.Count(),
-		P50us:  float64(h.Quantile(0.5)) / 1e3,
-		P99us:  float64(h.Quantile(0.99)) / 1e3,
-		P999us: float64(h.Quantile(0.999)) / 1e3,
+		P50us:  qUS(h, 0.5),
+		P99us:  qUS(h, 0.99),
+		P999us: qUS(h, 0.999),
 	}
 }
 

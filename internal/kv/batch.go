@@ -1,0 +1,429 @@
+// Client-side write batching: the write path's counterpart of the read
+// cache. Single-key PUTs bound for the same shard accumulate per shard and
+// flush as one lock-all / commit-all / unlock-all round (wire.go) when the
+// batch fills or its simulated-time window expires. At low rate batches
+// are singletons and fall back to the classic per-op rounds — batching
+// costs nothing when there is nothing to amortize; under saturation the
+// arrival backlog fills batches in one loop iteration and the per-write
+// AM/latch/replication cost drops by the batch factor. The flush window is
+// also the combine window: puts to the same hot key inside it land in one
+// batch and the server applies only the last (write combining).
+//
+// Failure handling reuses the individual machinery: a denied member leaves
+// the batch at the lock round and retries solo after backoff; a batch that
+// loses a server mid-round unlocks what it holds (when the latch holder is
+// still alive) and re-drives its members through the classic path, whose
+// commits dedup against whatever replicas already applied.
+package kv
+
+import (
+	"spam/internal/kv/load"
+	"spam/internal/ring"
+	"spam/internal/sim"
+)
+
+// Batch phases, mirroring the slot phases.
+const (
+	bphLock uint8 = iota
+	bphCommit
+	bphUnlock
+)
+
+// What to do once the batch's unlock round drains.
+const (
+	baComplete uint8 = iota // commit done: members terminal OK
+	baAbort                 // a server died mid-round: members re-drive solo
+)
+
+// wbatch is one shard's batch state: the accumulating pend queue plus at
+// most one in-flight batch. Phase buffers are preallocated slices of the
+// client's slab; a buffer is reused only after the round it carried has
+// been acknowledged by the server's reply, so retransmissions (which slice
+// the source buffer) can never send mutated bytes for live sequences.
+type wbatch struct {
+	active     bool
+	pendingAdv bool // queued on the bready ring (dedup)
+	failed     bool // a peer death resolved part of this round
+	armed      bool // queued on the flush-deadline ring
+	phase      uint8
+	after      uint8
+	n          uint8 // members in the in-flight batch
+	cn         uint8 // granted members in the commit vector
+	await      int8
+	lockSrv    int8 // server holding the batch's latches (unlock target)
+	gen        uint32
+	grantMask  uint32
+	deadline   sim.Time
+	tgt        [bsubCommit + maxReplicas]int8 // sub -> server awaiting reply
+	members    [maxBatchOps]uint32            // slot indices of the in-flight batch
+	pend       ring.Ring[uint32]              // slots waiting for the next flush
+	lockBuf    []byte
+	commitBuf  []byte
+	unlockBuf  []byte
+}
+
+// batchable reports whether the slot rides the batcher: single-key PUTs
+// only — deletes and multi-key batches keep the classic rounds.
+func (cl *client) batchable(s *reqSlot) bool {
+	return cl.batchOn && s.op == load.OpPut && s.nkeys == 1
+}
+
+// enqueueBatch parks the slot on its shard's pend queue, flushing eagerly
+// when a full batch is waiting and the channel is free, otherwise arming
+// the flush deadline.
+func (cl *client) enqueueBatch(p *sim.Proc, si uint32) {
+	s := &cl.slots[si]
+	sh := uint32(cl.svc.shardOf(s.keys[0]))
+	s.phase = phBatch
+	b := &cl.batches[sh]
+	b.pend.Push(si)
+	if !b.active && b.pend.Len() >= cl.svc.cfg.BatchOps {
+		cl.flushBatch(p, sh)
+		if b.pend.Len() == 0 || b.active {
+			return
+		}
+	}
+	if !b.armed {
+		b.armed = true
+		b.deadline = p.Now() + cl.svc.cfg.BatchWindow
+		cl.armq.Push(sh)
+	}
+}
+
+// flushBatch starts a batch from the shard's pend queue. A singleton
+// flush dispatches the lone op through the classic path instead — the
+// batch protocol only pays off with something to amortize.
+func (cl *client) flushBatch(p *sim.Proc, sh uint32) {
+	b := &cl.batches[sh]
+	if b.active || b.pend.Len() == 0 {
+		return
+	}
+	if b.pend.Len() == 1 {
+		si := b.pend.Pop()
+		cl.slots[si].phase = phLock
+		cl.dispatchSolo(p, si)
+		return
+	}
+	k := b.pend.Len()
+	if k > cl.svc.cfg.BatchOps {
+		k = cl.svc.cfg.BatchOps
+	}
+	for i := 0; i < k; i++ {
+		si := b.pend.Pop()
+		b.members[i] = si
+		s := &cl.slots[si]
+		s.attempts++
+		if s.attempts == 1 {
+			// Count distinct ops, not rides: a denied member re-enters
+			// the batcher after backoff but is already accounted.
+			cl.st.BatchedPuts++
+		}
+		putU32(b.lockBuf[4*i:], s.keys[0])
+	}
+	b.active, b.failed = true, false
+	b.n, b.cn = uint8(k), 0
+	b.phase, b.after = bphLock, baComplete
+	b.gen = (b.gen + 1) & 0xFFFF
+	b.lockSrv = -1
+	cl.st.WriteBatches++
+	cl.st.BatchSize.Observe(int64(k))
+	cl.dispatchBatch(p, sh)
+}
+
+// reserveB is reserve for a batch round: on a full in-flight cap the shard
+// parks on the batch deferral queue and the round is re-sent next loop
+// iteration.
+func (cl *client) reserveB(sh uint32, targets []int8) bool {
+	cap32 := int32(cl.svc.cfg.InflightCap)
+	for _, t := range targets {
+		cl.need[t]++
+	}
+	ok := true
+	for _, t := range targets {
+		if cl.inflight[t]+cl.need[t] > cap32 {
+			ok = false
+		}
+		cl.need[t] = 0
+	}
+	if !ok {
+		cl.st.Deferrals++
+		cl.bdefq.Push(sh)
+	}
+	return ok
+}
+
+// armB / postB mirror arm / post for batch sub-requests.
+func (cl *client) armB(b *wbatch, sub, srv int) {
+	b.tgt[sub] = int8(srv)
+	b.await++
+	cl.inflight[srv]++
+}
+
+func (cl *client) postB(b *wbatch, sub, srv int, err error) {
+	if err == nil {
+		return
+	}
+	if b.tgt[sub] == int8(srv) {
+		b.tgt[sub] = -1
+		b.await--
+		cl.inflight[srv]--
+		b.failed = true
+	}
+}
+
+// dispatchBatch sends the batch's current round. Main loop contexts only
+// (Store is request-class and must not run inside a handler).
+func (cl *client) dispatchBatch(p *sim.Proc, sh uint32) {
+	b := &cl.batches[sh]
+	var targets [maxReplicas]int8
+	switch b.phase {
+	case bphLock:
+		t := cl.primary(int(sh))
+		if t < 0 {
+			// No live replica: the classic path gives each member its
+			// typed Unavailable outcome.
+			b.grantMask = (uint32(1) << b.n) - 1
+			cl.abortBatch(p, sh)
+			return
+		}
+		targets[0] = int8(t)
+		if !cl.reserveB(sh, targets[:1]) {
+			return
+		}
+		b.failed = false
+		b.grantMask = 0
+		b.lockSrv = int8(t)
+		cl.armB(b, bsubLock, t)
+		err := cl.ep.StoreAsync(p, t, cl.stageAddr(sh), b.lockBuf[:4*int(b.n)],
+			cl.svc.hLockB, bReqID(b.gen, sh, bsubLock), nil)
+		cl.postB(b, bsubLock, t, err)
+
+	case bphCommit:
+		R := cl.svc.cfg.Replicas
+		var subs [maxReplicas]int
+		nt := 0
+		for r := 0; r < R; r++ {
+			srv := cl.svc.replicaSrv(int(sh), r)
+			if cl.dead[srv] {
+				continue
+			}
+			subs[nt] = bsubCommit + r
+			targets[nt] = int8(srv)
+			nt++
+		}
+		if nt == 0 {
+			// The shard vanished between lock and commit; the latches died
+			// with the primary, so there is nothing to unlock.
+			cl.abortBatch(p, sh)
+			return
+		}
+		if !cl.reserveB(sh, targets[:nt]) {
+			return
+		}
+		b.failed = false
+		n := int(b.cn) * stageOpBytes
+		for j := 0; j < nt; j++ {
+			t := int(targets[j])
+			cl.armB(b, subs[j], t)
+			err := cl.ep.StoreAsync(p, t, cl.stageAddr(sh), b.commitBuf[:n],
+				cl.svc.hCommitB, bReqID(b.gen, sh, uint32(subs[j])), nil)
+			cl.postB(b, subs[j], t, err)
+		}
+
+	case bphUnlock:
+		t := int(b.lockSrv)
+		if t < 0 || cl.dead[t] {
+			cl.finishBatchUnlock(p, sh) // the latches died with their server
+			return
+		}
+		targets[0] = int8(t)
+		if !cl.reserveB(sh, targets[:1]) {
+			return
+		}
+		b.failed = false
+		cl.armB(b, bsubUnlock, t)
+		err := cl.ep.StoreAsync(p, t, cl.stageAddr(sh), b.unlockBuf[:4*int(b.cn)],
+			cl.svc.hUnlockB, bReqID(b.gen, sh, bsubUnlock), nil)
+		cl.postB(b, bsubUnlock, t, err)
+	}
+	if b.active && b.await == 0 {
+		cl.markBReady(sh)
+	}
+}
+
+// markBReady queues the batch for a round transition in the main loop.
+func (cl *client) markBReady(sh uint32) {
+	b := &cl.batches[sh]
+	if !b.pendingAdv {
+		b.pendingAdv = true
+		cl.bready.Push(sh)
+	}
+}
+
+// onBResp routes a batch reply: args [bReqID, payload]. The generation
+// guard drops stale replies exactly like the slot path.
+func (cl *client) onBResp(args []uint32) {
+	id, payload := args[0], args[1]
+	sub := int(id & 0xF)
+	sh := (id >> 4) & 0xFFF
+	gen := id >> 16
+	b := &cl.batches[sh]
+	if !b.active || b.gen != gen || sub >= len(b.tgt) || b.tgt[sub] < 0 {
+		return
+	}
+	srv := int(b.tgt[sub])
+	b.tgt[sub] = -1
+	b.await--
+	cl.inflight[srv]--
+	if b.phase == bphLock && sub == bsubLock {
+		b.grantMask = payload
+	}
+	if b.await == 0 {
+		cl.markBReady(sh)
+	}
+}
+
+// advanceBatch runs one round transition for a drained batch.
+func (cl *client) advanceBatch(p *sim.Proc, sh uint32) {
+	b := &cl.batches[sh]
+	if !b.pendingAdv {
+		return
+	}
+	b.pendingAdv = false
+	if !b.active || b.await > 0 {
+		return
+	}
+	switch b.phase {
+	case bphLock:
+		if b.failed {
+			// The primary died before granting: its latches died with it,
+			// and which members it granted is unknowable — re-drive all.
+			b.grantMask = (uint32(1) << b.n) - 1
+			cl.abortBatch(p, sh)
+			return
+		}
+		gm := b.grantMask & ((uint32(1) << b.n) - 1)
+		b.grantMask = gm
+		for i := 0; i < int(b.n); i++ {
+			if gm&(1<<i) == 0 {
+				cl.st.LockRetries++
+				cl.scheduleRetry(p, b.members[i])
+			}
+		}
+		if gm == 0 {
+			cl.batchDone(p, sh)
+			return
+		}
+		// Build the commit and unlock vectors from the granted members;
+		// count the puts a later same-key member will supersede (the
+		// server's combining is this same last-writer-wins scan).
+		cn := 0
+		for i := 0; i < int(b.n); i++ {
+			if gm&(1<<i) == 0 {
+				continue
+			}
+			s := &cl.slots[b.members[i]]
+			off := cn * stageOpBytes
+			putU32(b.commitBuf[off:], s.keys[0])
+			putU32(b.commitBuf[off+4:], s.val)
+			putU32(b.commitBuf[off+8:], s.txn)
+			putU32(b.commitBuf[off+12:], s.gen)
+			putU32(b.unlockBuf[cn*4:], s.keys[0])
+			cn++
+		}
+		b.cn = uint8(cn)
+		for i := 0; i < cn; i++ {
+			key := getU32(b.commitBuf[i*stageOpBytes:])
+			for j := i + 1; j < cn; j++ {
+				if getU32(b.commitBuf[j*stageOpBytes:]) == key {
+					cl.st.CombinedPuts++
+					break
+				}
+			}
+		}
+		b.phase = bphCommit
+		cl.dispatchBatch(p, sh)
+
+	case bphCommit:
+		if b.failed {
+			b.after = baAbort // a replica died mid-commit: unlock, re-drive solo
+		} else {
+			b.after = baComplete
+		}
+		b.phase = bphUnlock
+		cl.dispatchBatch(p, sh)
+
+	case bphUnlock:
+		cl.finishBatchUnlock(p, sh)
+	}
+}
+
+// finishBatchUnlock completes the batch's granted members: terminal OK
+// after a clean commit, or a solo re-drive after an aborted round (their
+// commits dedup wherever the batch already applied). Member arrays are
+// copied out first — completing or re-driving members can start the
+// shard's next batch, which reuses this state.
+func (cl *client) finishBatchUnlock(p *sim.Proc, sh uint32) {
+	b := &cl.batches[sh]
+	var mem [maxBatchOps]uint32
+	n, gm, after := int(b.n), b.grantMask, b.after
+	copy(mem[:n], b.members[:n])
+	b.active = false
+	for i := 0; i < n; i++ {
+		if gm&(1<<i) == 0 {
+			continue // denied members were rescheduled at the lock round
+		}
+		si := mem[i]
+		s := &cl.slots[si]
+		if after == baComplete {
+			s.commitDone = true
+			cl.terminal(p, si, StatusOK)
+		} else {
+			s.failedOver = true
+			s.phase = phLock
+			cl.dispatchSolo(p, si)
+		}
+	}
+	cl.pumpPend(p, sh)
+}
+
+// abortBatch re-drives the batch's unresolved members through the classic
+// path without an unlock round — only taken when the latch holder is dead
+// (its latches are gone) or was never reached. The solo path owns the
+// member from here: it re-routes to survivors or fails typed when the
+// shard has none.
+func (cl *client) abortBatch(p *sim.Proc, sh uint32) {
+	b := &cl.batches[sh]
+	var mem [maxBatchOps]uint32
+	n, gm := int(b.n), b.grantMask
+	copy(mem[:n], b.members[:n])
+	b.active = false
+	for i := 0; i < n; i++ {
+		if gm&(1<<i) == 0 {
+			continue
+		}
+		si := mem[i]
+		s := &cl.slots[si]
+		s.failedOver = true
+		s.phase = phLock
+		cl.dispatchSolo(p, si)
+	}
+	cl.pumpPend(p, sh)
+}
+
+// batchDone retires a batch that has nothing to commit (every member was
+// denied) and lets the pend queue flush into the freed channel.
+func (cl *client) batchDone(p *sim.Proc, sh uint32) {
+	cl.batches[sh].active = false
+	cl.pumpPend(p, sh)
+}
+
+// pumpPend flushes the shard's pend queue now that no batch is in flight;
+// ops that waited out a batch's round trips should not also wait out a
+// fresh window.
+func (cl *client) pumpPend(p *sim.Proc, sh uint32) {
+	b := &cl.batches[sh]
+	for !b.active && b.pend.Len() > 0 {
+		cl.flushBatch(p, sh)
+	}
+}

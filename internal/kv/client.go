@@ -16,6 +16,7 @@ const (
 	phLock
 	phCommit
 	phUnlock
+	phBatch // parked in the write batcher (batch.go); the batch drives it
 )
 
 // What to do once the unlock phase drains.
@@ -66,8 +67,58 @@ type reqSlot struct {
 }
 
 type retryEnt struct {
-	si uint32
-	at sim.Time
+	si  uint32
+	seq uint32 // FIFO tiebreak for equal wake times
+	at  sim.Time
+}
+
+// retryHeap orders pending retries by (wake time, schedule order). The
+// exponential backoff hands out per-attempt delays, so insertion order no
+// longer matches time order and a FIFO ring would dispatch out of order.
+// The slice is retained across operations — steady state allocates nothing.
+type retryHeap struct{ h []retryEnt }
+
+func (q *retryHeap) Len() int { return len(q.h) }
+
+func (q *retryHeap) less(a, b retryEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (q *retryHeap) Push(e retryEnt) {
+	q.h = append(q.h, e)
+	for i := len(q.h) - 1; i > 0; {
+		par := (i - 1) / 2
+		if !q.less(q.h[i], q.h[par]) {
+			break
+		}
+		q.h[i], q.h[par] = q.h[par], q.h[i]
+		i = par
+	}
+}
+
+func (q *retryHeap) Min() retryEnt { return q.h[0] }
+
+func (q *retryHeap) Pop() retryEnt {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && q.less(q.h[r], q.h[l]) {
+			c = r
+		}
+		if !q.less(q.h[c], q.h[i]) {
+			break
+		}
+		q.h[i], q.h[c] = q.h[c], q.h[i]
+		i = c
+	}
+	return top
 }
 
 // ClientStats is one client node's deterministic accounting.
@@ -77,6 +128,10 @@ type ClientStats struct {
 	Gets, Puts, Deletes, Batches int64
 	LockRetries, Failovers       int64
 	Deferrals                    int64
+
+	// Write-batching accounting (see batch.go and Result for semantics).
+	WriteBatches, BatchedPuts, CombinedPuts, Backoffs int64
+	BatchSize                                         trace.Histogram
 
 	// Read-cache accounting. Every GET is exactly one of hit, coalesced,
 	// or fetched (miss + stale); StaleServed guards the lease bound and
@@ -107,13 +162,23 @@ type client struct {
 
 	slots  []reqSlot
 	free   ring.Ring[uint32]
-	ready  ring.Ring[uint32]   // phases drained; advance in the main loop
-	defq   ring.Ring[uint32]   // dispatches deferred on the in-flight cap
-	retryq ring.Ring[retryEnt] // lock retries; fixed backoff keeps FIFO = time order
+	ready  ring.Ring[uint32] // phases drained; advance in the main loop
+	defq   ring.Ring[uint32] // dispatches deferred on the in-flight cap
+	retryq retryHeap         // lock retries, ordered by backoff wake time
 
 	inflight []int32 // per server
 	need     []int32 // dispatch scratch
 	dead     []bool  // per server, set by the peer-death handler
+
+	// Write batcher (batch.go): per-shard batch state plus the rings that
+	// mirror ready/defq for batches and the flush-deadline queue.
+	batchOn  bool
+	batches  []wbatch
+	bready   ring.Ring[uint32] // batch rounds drained; advance in the main loop
+	bdefq    ring.Ring[uint32] // batch rounds deferred on the in-flight cap
+	armq     ring.Ring[uint32] // shards with an armed flush deadline (FIFO = time order)
+	retryRng *sim.Rand         // backoff jitter; distinct stream from the load gen
+	retrySeq uint32
 
 	cache       *readCache        // nil when Config.CacheOff
 	getInflight map[uint32]uint32 // key -> leader slot of the in-flight GET
@@ -142,6 +207,27 @@ func newClient(svc *Service, idx int, ep *am.Endpoint, budget int, vlo, vn uint3
 		cl.cache = newReadCache(cfg.CacheSize, cfg.Lease)
 		cl.getInflight = make(map[uint32]uint32, cfg.Slots)
 	}
+	cl.batchOn = !cfg.BatchOff
+	cl.retryRng = sim.NewRand(seed + 0x5CA1AB1E)
+	if cl.batchOn {
+		// One slab, three phase buffers per shard. A phase buffer is only
+		// rewritten after its round's reply arrived, which implies the
+		// server consumed the store — so buffer reuse never races a live
+		// transfer.
+		ns := svc.numShards
+		slab := make([]byte, ns*(4*maxBatchOps+stageBytes+4*maxBatchOps))
+		cl.batches = make([]wbatch, ns)
+		for sh := 0; sh < ns; sh++ {
+			b := &cl.batches[sh]
+			b.lockBuf, slab = slab[:4*maxBatchOps], slab[4*maxBatchOps:]
+			b.commitBuf, slab = slab[:stageBytes], slab[stageBytes:]
+			b.unlockBuf, slab = slab[:4*maxBatchOps], slab[4*maxBatchOps:]
+			b.lockSrv = -1
+			for i := range b.tgt {
+				b.tgt[i] = -1
+			}
+		}
+	}
 	for i := 0; i < cfg.Slots; i++ {
 		cl.free.Push(uint32(i))
 	}
@@ -159,14 +245,34 @@ func (cl *client) run(p *sim.Proc, n *hw.Node) {
 		for cl.ready.Len() > 0 {
 			cl.advance(p, cl.ready.Pop())
 		}
-		for cl.retryq.Len() > 0 && cl.retryq.Peek().at <= now {
+		for cl.bready.Len() > 0 {
+			cl.advanceBatch(p, cl.bready.Pop())
+		}
+		for cl.retryq.Len() > 0 && cl.retryq.Min().at <= now {
 			cl.dispatch(p, cl.retryq.Pop().si)
 		}
 		for k := cl.defq.Len(); k > 0; k-- {
 			cl.dispatch(p, cl.defq.Pop())
 		}
+		for k := cl.bdefq.Len(); k > 0; k-- {
+			cl.pumpBatch(p, cl.bdefq.Pop())
+		}
 		for cl.issued < cl.budget && cl.nextAt <= now && cl.free.Len() > 0 {
 			cl.startOp(p)
+		}
+		// Flush batches whose window expired. Deadlines enter armq in
+		// arming order and windows are constant, so the front is earliest.
+		for cl.armq.Len() > 0 {
+			sh := *cl.armq.Peek()
+			b := &cl.batches[sh]
+			if b.deadline > now {
+				break
+			}
+			cl.armq.Pop()
+			b.armed = false
+			if !b.active {
+				cl.flushBatch(p, sh)
+			}
 		}
 		if cl.finished >= cl.budget {
 			break
@@ -333,9 +439,32 @@ func (cl *client) post(si uint32, sub, srv int, err error) {
 	}
 }
 
-// dispatch sends the slot's current phase. It is called from the main loop
-// only (never from handlers), so it may issue blocking Requests.
+// pumpBatch retries a batch round that deferred on the in-flight cap (or,
+// if the batch since retired, flushes whatever is pending for the shard).
+func (cl *client) pumpBatch(p *sim.Proc, sh uint32) {
+	if cl.batches[sh].active {
+		cl.dispatchBatch(p, sh)
+	} else {
+		cl.pumpPend(p, sh)
+	}
+}
+
+// dispatch routes the slot: batchable PUTs at their lock phase park in the
+// write batcher; everything else takes the classic per-op rounds. It is
+// called from the main loop only (never from handlers), so it may issue
+// blocking Requests.
 func (cl *client) dispatch(p *sim.Proc, si uint32) {
+	s := &cl.slots[si]
+	if s.phase == phLock && cl.batchable(s) {
+		cl.enqueueBatch(p, si)
+		return
+	}
+	cl.dispatchSolo(p, si)
+}
+
+// dispatchSolo sends the slot's current phase through the classic per-op
+// rounds.
+func (cl *client) dispatchSolo(p *sim.Proc, si uint32) {
 	s := &cl.slots[si]
 	var targets [maxTargets]int8
 	switch s.phase {
@@ -570,13 +699,47 @@ func (cl *client) finishUnlock(p *sim.Proc, si uint32) {
 	case auFail:
 		cl.terminal(p, si, uint32(s.status))
 	default: // auRetry
-		if int(s.attempts) >= cl.svc.cfg.MaxAttempts {
-			cl.terminal(p, si, StatusConflict)
-			return
-		}
-		s.phase = phLock
-		cl.retryq.Push(retryEnt{si: si, at: p.Now() + cl.svc.cfg.RetryBackoff})
+		cl.scheduleRetry(p, si)
 	}
+}
+
+// scheduleRetry parks the slot for another lock round after a backoff, or
+// gives up with a typed Conflict once the attempt budget is spent. The
+// delay doubles per attempt up to BackoffCap doublings, with jitter drawn
+// from the client's own seeded stream (uniform over the delay's upper
+// half) — contending clients decorrelate instead of re-colliding, and the
+// draw order is deterministic because retries are scheduled by the main
+// loop in event order.
+func (cl *client) scheduleRetry(p *sim.Proc, si uint32) {
+	s := &cl.slots[si]
+	if int(s.attempts) >= cl.svc.cfg.MaxAttempts {
+		cl.terminal(p, si, StatusConflict)
+		return
+	}
+	s.phase = phLock
+	cl.st.Backoffs++
+	cl.retrySeq++
+	cl.retryq.Push(retryEnt{si: si, seq: cl.retrySeq, at: p.Now() + cl.backoffDelay(s.attempts)})
+}
+
+// backoffDelay computes the retry delay for a slot on its given attempt
+// count. LegacyRetry reproduces the pre-batching fixed delay (the A/B
+// baseline for the write tables).
+func (cl *client) backoffDelay(attempts uint16) sim.Time {
+	base := cl.svc.cfg.RetryBackoff
+	if cl.svc.cfg.LegacyRetry {
+		return base
+	}
+	shift := int(attempts) - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > cl.svc.cfg.BackoffCap {
+		shift = cl.svc.cfg.BackoffCap
+	}
+	d := base << shift
+	half := d >> 1
+	return half + sim.Time(cl.retryRng.Uint64()%uint64(half+1))
 }
 
 // finishRead retires a leader GET: install the result in the cache (unless
@@ -620,7 +783,14 @@ func (cl *client) terminal(p *sim.Proc, si uint32, status uint32) {
 		// Write completion: raise the written keys' version floors so the
 		// cache can no longer serve (or accept fills of) anything older —
 		// this client reads its own writes back within one round trip.
+		// A batched commit's reply carries no per-key versions (vers stays
+		// 0): drop the entry instead, and rely on the commit's push — which
+		// includes the writer for exactly this reason — for the floor.
 		for i := 0; i < int(s.nkeys); i++ {
+			if s.vers[i] == 0 {
+				cl.cache.drop(s.keys[i])
+				continue
+			}
 			cl.cache.invalidate(s.keys[i], s.vers[i])
 			if li, ok := cl.getInflight[s.keys[i]]; ok {
 				if ls := &cl.slots[li]; s.vers[i] > ls.verFloor {
@@ -706,6 +876,23 @@ func (cl *client) onPeerDeath(p *sim.Proc, ep *am.Endpoint, peer int, err *am.Pe
 		}
 		if s.await == 0 {
 			cl.markReady(uint32(i))
+		}
+	}
+	for sh := range cl.batches {
+		b := &cl.batches[sh]
+		if !b.active || b.await == 0 {
+			continue
+		}
+		for sub := range b.tgt {
+			if b.tgt[sub] == int8(peer) {
+				b.tgt[sub] = -1
+				b.await--
+				cl.inflight[peer]--
+				b.failed = true
+			}
+		}
+		if b.await == 0 {
+			cl.markBReady(uint32(sh))
 		}
 	}
 }

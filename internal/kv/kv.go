@@ -14,8 +14,15 @@
 //     its primary, commit the value to every live replica, unlock. The
 //     primary latch serializes writers per key, so replicas converge.
 //   - Batch: the same two-phase protocol over multiple keys; any lock
-//     denial aborts (unlocking granted latches) and retries after a fixed
-//     backoff, so there is no distributed blocking and no deadlock.
+//     denial aborts (unlocking granted latches) and retries after a
+//     deterministic exponential backoff, so there is no distributed
+//     blocking and no deadlock.
+//
+// Single-key PUTs additionally ride the write batcher (see batch.go and
+// wire.go): puts bound for the same shard coalesce into one multi-op
+// lock-all/commit-all/unlock-all round carried by am_store, with per-op
+// grant status in the reply and server-side last-writer-wins combining of
+// same-key puts within a batch.
 //
 // Fail-stop servers are detected by the AM layer's adaptive keep-alive
 // ladder; the client's *am.PeerDeathError handler resolves every in-flight
@@ -80,6 +87,17 @@ type Config struct {
 	HolderCap   int      // tracked lease holders per key (default/max 4)
 	NoInvalPush bool     // suppress the push; rely on lease expiry alone
 
+	// Write batching (see batch.go). Single-key PUTs bound for the same
+	// shard coalesce into one lock-all/commit-all/unlock-all round; the
+	// flush window doubles as the server-side combine window (puts to the
+	// same key inside it land in one batch and are combined last-writer-
+	// wins at commit).
+	BatchOff    bool     // disable commit batching and write combining
+	BatchOps    int      // max PUTs per batch (default 16, max 32)
+	BatchWindow sim.Time // flush window: max simulated-time wait to fill a batch (default 20us)
+	BackoffCap  int      // max lock-retry backoff doublings (default 6)
+	LegacyRetry bool     // fixed RetryBackoff delay, no exponential backoff or jitter (A/B baseline)
+
 	NodePar  int      // intra-run PDES shards (0 = hw.DefaultNodePar)
 	Watchdog sim.Time // RunChecked no-progress budget (default 200ms)
 }
@@ -143,6 +161,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HolderCap <= 0 || c.HolderCap > holderMax {
 		c.HolderCap = holderMax
 	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 16
+	}
+	if c.BatchOps > maxBatchOps {
+		return c, fmt.Errorf("kv: BatchOps %d exceeds max %d (grant bitmap is one wire word)", c.BatchOps, maxBatchOps)
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = hw.US(20)
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 6
+	}
+	if c.Servers*c.ShardsPerServer > 1<<12 {
+		return c, fmt.Errorf("kv: %d shards exceed the batch reqID encoding (12 bits)", c.Servers*c.ShardsPerServer)
+	}
 	if c.ClientNodes > 1<<16 {
 		return c, fmt.Errorf("kv: ClientNodes %d exceeds the holder encoding (16 bits)", c.ClientNodes)
 	}
@@ -192,11 +225,21 @@ type Service struct {
 	numShards int
 
 	hGet, hLock, hCommitPut, hCommitDel, hUnlock, hDone, hResp, hInval am.HandlerID
+	hLockB, hCommitB, hUnlockB, hBResp                                 am.HandlerID
+
+	stageSeg int // batch staging segment id, identical on every server
 
 	// staleCheck, when set (tests; serial runs only, since it reads server
 	// state from the client's process), observes every cache-served GET:
 	// (key, served version, serve time). It must not mutate anything.
 	staleCheck func(key, ver uint32, now sim.Time)
+
+	// batchInvalCheck, when set (tests; serial runs only), observes every
+	// batched commit's version bump: (key, invalidation pushes queued,
+	// unexpired tracked holders). The push protocol queues one per live
+	// holder — including the writer, whose batch reply cannot carry per-key
+	// versions. It must not mutate anything.
+	batchInvalCheck func(key uint32, queued, live int)
 }
 
 // New builds the cluster, registers the handler table, and spawns the
@@ -223,6 +266,17 @@ func New(cfg Config) (*Service, error) {
 		srv := newServer(svc, k, sys.EPs[k])
 		sys.EPs[k].Data = srv
 		svc.servers = append(svc.servers, srv)
+		if !cfg.BatchOff {
+			// Batch staging: one block per (client, shard) so concurrent
+			// batches never share bytes. Registered first on every server,
+			// so one segment id addresses them all.
+			seg := sys.EPs[k].Node().Mem.Add(make([]byte, cfg.ClientNodes*svc.numShards*stageBytes))
+			if k == 0 {
+				svc.stageSeg = seg
+			} else if seg != svc.stageSeg {
+				panic("kv: staging segment id differs across servers")
+			}
+		}
 	}
 	base, extra := cfg.Requests/cfg.ClientNodes, cfg.Requests%cfg.ClientNodes
 	vbase, vextra := cfg.VirtualClients/cfg.ClientNodes, cfg.VirtualClients%cfg.ClientNodes
@@ -283,6 +337,18 @@ func (svc *Service) registerHandlers() {
 	svc.hInval = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
 		ep.Data.(*client).onInval(args)
 	})
+	svc.hLockB = svc.sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {
+		ep.Data.(*server).onLockBatch(p, ep, tok, addr, n, arg)
+	})
+	svc.hCommitB = svc.sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {
+		ep.Data.(*server).onCommitBatch(p, ep, tok, addr, n, arg)
+	})
+	svc.hUnlockB = svc.sys.RegisterBulk(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, n int, arg uint32) {
+		ep.Data.(*server).onUnlockBatch(p, ep, tok, addr, n, arg)
+	})
+	svc.hBResp = svc.sys.Register(func(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uint32) {
+		ep.Data.(*client).onBResp(args)
+	})
 }
 
 // mix32 is a bijective 32-bit hash (MurmurHash3 finalizer) used to spread
@@ -333,6 +399,21 @@ type Result struct {
 	Failovers   int64 // operations that survived a replica death
 	Deferrals   int64 // dispatches deferred on the per-server in-flight cap
 
+	// Write-batching accounting, summed over client nodes. BatchedPuts
+	// counts the distinct PUTs whose first dispatch rode a multi-op batch
+	// (denied members re-ride after backoff without being recounted; the
+	// rest went through the classic per-op rounds); CombinedPuts the ones
+	// superseded by a
+	// later put to the same key in their batch (the server applied the
+	// survivor once, last-writer-wins); Backoffs the retries that slept on
+	// the exponential-backoff queue.
+	WriteBatches int64
+	BatchedPuts  int64
+	CombinedPuts int64
+	Backoffs     int64
+
+	BatchSize trace.Histogram // ops per flushed batch
+
 	// Read-cache accounting, summed over client nodes. Every GET is
 	// exactly one of CacheHits, Coalesced, or a fetch (CacheMisses +
 	// CacheStale); with no failover, fetches == ServerOps.Gets.
@@ -363,6 +444,9 @@ type ServerOps struct {
 	InvalsDropped   int64 // pushes skipped (client finished or unreachable)
 	HolderOverflows int64 // GETs not tracked because the holder set was full
 	CommitDups      int64 // failover re-commits deduplicated by version bump
+
+	BatchRounds int64 // lock-all batch rounds served
+	Combined    int64 // batch commit ops superseded by a later same-key op (per replica)
 }
 
 // Throughput is the achieved request rate over the makespan.
@@ -420,6 +504,11 @@ func (svc *Service) gather() *Result {
 		res.LockRetries += st.LockRetries
 		res.Failovers += st.Failovers
 		res.Deferrals += st.Deferrals
+		res.WriteBatches += st.WriteBatches
+		res.BatchedPuts += st.BatchedPuts
+		res.CombinedPuts += st.CombinedPuts
+		res.Backoffs += st.Backoffs
+		res.BatchSize.Merge(&st.BatchSize)
 		res.CacheHits += st.CacheHits
 		res.CacheMisses += st.CacheMisses
 		res.CacheStale += st.CacheStale
@@ -452,6 +541,8 @@ func (svc *Service) gather() *Result {
 		res.ServerOps.InvalsDropped += srv.invalsDropped
 		res.ServerOps.HolderOverflows += srv.holderOverflows
 		res.ServerOps.CommitDups += srv.commitDups
+		res.ServerOps.BatchRounds += srv.batchRounds
+		res.ServerOps.Combined += srv.combined
 	}
 	if svc.cfg.KillServer >= 0 {
 		if maxDetect > svc.cfg.KillAt {
@@ -483,7 +574,14 @@ func (svc *Service) foldMetrics(res *Result) {
 	reg.Counter("kv.lock_retries").Add(res.LockRetries)
 	reg.Counter("kv.failovers").Add(res.Failovers)
 	reg.Counter("kv.deferrals").Add(res.Deferrals)
+	reg.Counter("kv.server.locks").Add(res.ServerOps.Locks)
 	reg.Counter("kv.server.lock_denied").Add(res.ServerOps.LockDenied)
+	reg.Counter("kv.server.combined").Add(res.ServerOps.Combined)
+	reg.Counter("kv.write.batches").Add(res.WriteBatches)
+	reg.Counter("kv.write.batched_puts").Add(res.BatchedPuts)
+	reg.Counter("kv.write.combined").Add(res.CombinedPuts)
+	reg.Counter("kv.write.backoffs").Add(res.Backoffs)
+	reg.Histogram("kv.write.batch_size").Merge(&res.BatchSize)
 	reg.Counter("kv.cache.hits").Add(res.CacheHits)
 	reg.Counter("kv.cache.misses").Add(res.CacheMisses)
 	reg.Counter("kv.cache.stale").Add(res.CacheStale)

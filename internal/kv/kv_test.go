@@ -412,3 +412,167 @@ func TestKVCacheOff(t *testing.T) {
 		t.Fatalf("cache off: client GETs %d != server GETs %d", res.Gets, res.ServerOps.Gets)
 	}
 }
+
+// TestKVWriteBookkeeping pins the commit-batching accounting identities on
+// a healthy write-heavy run: every flushed batch is one histogram sample,
+// batched PUTs are a subset of all PUTs, and the client's last-writer-wins
+// scan agrees with the servers' — each combined op is skipped once per
+// replica, nowhere else.
+func TestKVWriteBookkeeping(t *testing.T) {
+	cfg := testConfig(6000)
+	cfg.Keys = 256 // hot keys: batches regularly carry same-key pairs
+	cfg.Zipf = 1.3
+	cfg.Mix = load.WriteHeavyMix()
+	cfg.Replicas = 2
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]int64{
+		"WriteBatches": res.WriteBatches, "BatchedPuts": res.BatchedPuts,
+		"CombinedPuts": res.CombinedPuts, "Backoffs": res.Backoffs,
+	} {
+		if v == 0 {
+			t.Errorf("%s = 0; the workload isn't exercising the batch path", name)
+		}
+	}
+	if res.BatchSize.Count() != res.WriteBatches {
+		t.Fatalf("batch-size histogram holds %d samples, want WriteBatches=%d",
+			res.BatchSize.Count(), res.WriteBatches)
+	}
+	if res.BatchedPuts > res.Puts {
+		t.Fatalf("BatchedPuts=%d exceeds Puts=%d", res.BatchedPuts, res.Puts)
+	}
+	if res.BatchSize.Min() < 2 || res.BatchSize.Max() > int64(maxBatchOps) {
+		t.Fatalf("batch sizes [%d,%d] outside [2,%d] (singletons ride the classic path)",
+			res.BatchSize.Min(), res.BatchSize.Max(), maxBatchOps)
+	}
+	if got, want := res.ServerOps.Combined, int64(cfg.Replicas)*res.CombinedPuts; got != want {
+		t.Fatalf("servers combined %d ops, want Replicas*CombinedPuts = %d", got, want)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVWriteDeterminismSoak: the batched write path — flush windows,
+// grant bitmaps, exponential backoff draws and all — must produce
+// byte-identical Results serial vs 2-, 4-, and 8-shard conservative-
+// parallel runs on the write-heavy mix.
+func TestKVWriteDeterminismSoak(t *testing.T) {
+	run := func(nodePar int) *Result {
+		cfg := testConfig(6000)
+		cfg.Keys = 1 << 10
+		cfg.Zipf = 1.3
+		cfg.Mix = load.WriteHeavyMix()
+		cfg.NodePar = nodePar
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.WriteBatches == 0 || serial.CombinedPuts == 0 || serial.Backoffs == 0 {
+		t.Fatalf("soak isn't exercising batching: batches=%d combined=%d backoffs=%d",
+			serial.WriteBatches, serial.CombinedPuts, serial.Backoffs)
+	}
+	for _, np := range []int{2, 4, 8} {
+		if sharded := run(np); !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("write-heavy run diverges at -nodepar %d:\nserial:  %+v\nsharded: %+v", np, serial, sharded)
+		}
+	}
+}
+
+// TestKVBatchInvalOracle: every key a batched commit bumps must push an
+// invalidation to every live tracked holder — including the writer, whose
+// one-word batch reply cannot carry versions. The lease oracle rides along:
+// even with combining collapsing same-key commits, no cache serve may
+// outlive its bound.
+func TestKVBatchInvalOracle(t *testing.T) {
+	cfg := testConfig(6000)
+	cfg.Keys = 256 // hot keys: reads hold leases on what the batches write
+	cfg.Zipf = 1.3
+	cfg.Mix = load.WriteHeavyMix()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o staleOracle
+	o.attach(svc, hw.US(1000))
+	var bumps, tracked, short int
+	svc.batchInvalCheck = func(key uint32, queued, live int) {
+		bumps++
+		if live > 0 {
+			tracked++
+		}
+		if queued != live {
+			short++
+		}
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bumps == 0 || tracked == 0 {
+		t.Fatalf("oracle not biting: %d batched bumps, %d with live holders", bumps, tracked)
+	}
+	if short != 0 {
+		t.Fatalf("%d batched bumps pushed to fewer holders than were live", short)
+	}
+	if o.violations != 0 {
+		t.Fatalf("%d cache serves past the lease bound (%d stale-within-lease were fine)", o.violations, o.staleOK)
+	}
+	if res.StaleServed != 0 {
+		t.Fatalf("client-side lease check tripped %d times", res.StaleServed)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVWriteKillSoak kills a server mid-run on the write-heavy mix: batch
+// rounds caught by the death at any phase must abort and re-drive their
+// members solo, every request must still reach a terminal outcome, and the
+// verdict must be identical serial vs -nodepar 4.
+func TestKVWriteKillSoak(t *testing.T) {
+	run := func(nodePar int) *Result {
+		cfg := testConfig(6000)
+		cfg.Keys = 1 << 10
+		cfg.Zipf = 1.3
+		cfg.Rate = 200e3
+		cfg.Mix = load.WriteHeavyMix()
+		cfg.KillServer = 1
+		cfg.KillAt = hw.US(3000)
+		cfg.NodePar = nodePar
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(1)
+	if got := res.Completed + res.Conflicts + res.Unavail; got != res.Issued {
+		t.Fatalf("outcomes %d != issued %d after kill", got, res.Issued)
+	}
+	if res.Failovers == 0 || res.WriteBatches == 0 {
+		t.Fatalf("soak not biting: failovers=%d batches=%d", res.Failovers, res.WriteBatches)
+	}
+	if res.Unavail != 0 {
+		t.Fatalf("%d Unavailable outcomes despite a surviving replica per shard", res.Unavail)
+	}
+	if sharded := run(4); !reflect.DeepEqual(res, sharded) {
+		t.Fatalf("write-heavy kill run diverges under -nodepar 4:\nserial:  %+v\nsharded: %+v", res, sharded)
+	}
+}

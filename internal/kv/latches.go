@@ -3,6 +3,9 @@
 // client (which aborts and retries after a backoff) rather than queued, so
 // the server never blocks and multi-key transactions cannot deadlock —
 // concurrent requests to different keys of one shard proceed independently.
+// Batched commits take their latches in one lock-all round under a batch
+// txn (see wire.go); the discipline is unchanged — per-key try-lock,
+// deny + retry, never queue — only the round trips are amortized.
 package kv
 
 import "spam/internal/sim"

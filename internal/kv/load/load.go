@@ -69,6 +69,16 @@ func NoBatchMix() Mix { return Mix{Get: 0.80, Put: 0.17, Delete: 0.03} }
 // 95/5 it stays above 80%.
 func ReadMostlyMix() Mix { return Mix{Get: 0.95, Put: 0.04, Delete: 0.007, Batch: 0.003} }
 
+// WriteHeavyMix is a 50/50 read/write serving mix (YCSB-A territory): the
+// regime where saturation is decided by write contention on the hot keys,
+// which is what commit batching and server-side write combining relieve.
+func WriteHeavyMix() Mix { return Mix{Get: 0.50, Put: 0.45, Delete: 0.03, Batch: 0.02} }
+
+// UpdateSkewMix is a 10/90 read/write mix — an ingest/counter workload
+// where nearly every request wants the hot keys' latches. It is the
+// worst case for deny+retry latching and the best case for combining.
+func UpdateSkewMix() Mix { return Mix{Get: 0.10, Put: 0.85, Delete: 0.03, Batch: 0.02} }
+
 // ParseMix resolves a mix name from the command line.
 func ParseMix(name string) (Mix, error) {
 	switch name {
@@ -78,8 +88,36 @@ func ParseMix(name string) (Mix, error) {
 		return ReadMostlyMix(), nil
 	case "nobatch":
 		return NoBatchMix(), nil
+	case "writeheavy":
+		return WriteHeavyMix(), nil
+	case "updateskew":
+		return UpdateSkewMix(), nil
 	}
-	return Mix{}, fmt.Errorf("load: unknown mix %q (want default, readmostly, or nobatch)", name)
+	return Mix{}, fmt.Errorf("load: unknown mix %q (want default, readmostly, nobatch, writeheavy, or updateskew)", name)
+}
+
+// ParseMixes parses a comma-separated mix-name list ("default,writeheavy")
+// for sweep tables, returning the names (for row labels) alongside the
+// resolved mixes.
+func ParseMixes(spec string) ([]string, []Mix, error) {
+	var names []string
+	var mixes []Mix
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		m, err := ParseMix(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, f)
+		mixes = append(mixes, m)
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("load: empty mix list %q", spec)
+	}
+	return names, mixes, nil
 }
 
 // ParseSkews parses a comma-separated Zipf skew list ("1.0,1.1,1.3") for

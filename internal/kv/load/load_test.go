@@ -126,3 +126,53 @@ func TestClientRange(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteMixShares: the write-contention mixes draw PUTs at their
+// configured weight — the property the write-relief benchmarks depend on.
+func TestWriteMixShares(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mix  Mix
+		puts float64
+	}{
+		{"writeheavy", WriteHeavyMix(), 0.45},
+		{"updateskew", UpdateSkewMix(), 0.85},
+	} {
+		g := NewGen(5, 1e6, 1024, 0, tc.mix, 0, 10)
+		var puts int
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if g.NextOp() == OpPut {
+				puts++
+			}
+		}
+		got := float64(puts) / n
+		if math.Abs(got-tc.puts) > 0.02 {
+			t.Fatalf("%s drew %.3f PUTs, want ~%.2f", tc.name, got, tc.puts)
+		}
+	}
+}
+
+// TestParseMixes: the sweep-list parser resolves names in order and
+// rejects unknown or empty lists.
+func TestParseMixes(t *testing.T) {
+	names, mixes, err := ParseMixes(" writeheavy, updateskew ,default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || len(mixes) != 3 {
+		t.Fatalf("parsed %d names / %d mixes, want 3/3", len(names), len(mixes))
+	}
+	if names[0] != "writeheavy" || names[2] != "default" {
+		t.Fatalf("names out of order: %v", names)
+	}
+	if mixes[1] != UpdateSkewMix() {
+		t.Fatalf("updateskew resolved to %+v", mixes[1])
+	}
+	if _, _, err := ParseMixes("writeheavy,bogus"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, _, err := ParseMixes(" , "); err == nil {
+		t.Fatal("empty mix list accepted")
+	}
+}

@@ -35,6 +35,7 @@ type server struct {
 
 	gets, locks, lockDenied, commits, deletes, unlocks     int64
 	invalsSent, invalsDropped, holderOverflows, commitDups int64
+	batchRounds, combined                                  int64
 }
 
 func newServer(svc *Service, id int, ep *am.Endpoint) *server {
@@ -137,35 +138,59 @@ func (s *server) registerHolder(now sim.Time, sh *shard, key uint32, src int) {
 // bump advances key's version for this commit unless it is a replay (a
 // failover re-commit of the same operation — commits must stay idempotent
 // in the version domain too, or replicas would diverge). The dedup id
-// pairs the txn word (client node + slot) with the slot generation from
-// the request id; together they name one operation uniquely even as slots
-// are reused. A genuine bump queues invalidation pushes to the key's
-// tracked lease holders, excluding the writer (its own completion carries
-// the version already).
-func (s *server) bump(now sim.Time, sh *shard, key, txn, reqID uint32) uint32 {
+// pairs the op's txn word (client node + slot) with the slot generation;
+// together they name one operation uniquely even as slots are reused, and
+// a batched member carries the same id it would use individually, so a
+// batch that aborts mid-replication can re-drive members solo without
+// double-bumping replicas that already applied the batch.
+//
+// A genuine bump queues invalidation pushes to the key's tracked lease
+// holders. writer is the client index whose own completion already carries
+// the version (individual commits: the reply's third word); it is excluded
+// from the push. Batched commits pass writer < 0 — the one-word batch reply
+// cannot carry per-key versions, so the writer learns them from its own
+// push like everyone else.
+func (s *server) bump(now sim.Time, sh *shard, key uint32, opID uint64, writer int32) uint32 {
 	m := sh.meta[key]
-	op := uint64(txn)<<16 | uint64(reqID>>16)
-	if m.lastOp == op {
+	if m.lastOp == opID {
 		s.commitDups++
 		return m.ver
 	}
 	m.ver++
-	m.lastOp = op
+	m.lastOp = opID
 	m.verAt = now
 	sh.meta[key] = m
 	if s.push {
+		queued, live := 0, 0
 		if h, ok := sh.holders[key]; ok {
-			writer := uint16(txn >> 12 & 0x7FFFF)
 			for i := 0; i < int(h.n); i++ {
-				if h.cl[i] != writer && h.exp[i] > now {
-					s.invalq.Push(invalEnt{cl: h.cl[i], key: key, ver: m.ver})
+				if h.exp[i] <= now {
+					continue
 				}
+				live++
+				if int32(h.cl[i]) == writer {
+					continue
+				}
+				s.invalq.Push(invalEnt{cl: h.cl[i], key: key, ver: m.ver})
+				queued++
 			}
 			delete(sh.holders, key)
+		}
+		if writer < 0 {
+			if f := s.svc.batchInvalCheck; f != nil {
+				f(key, queued, live)
+			}
 		}
 	}
 	return m.ver
 }
+
+// opDedupID is the version-domain dedup id shared by the individual and
+// batched commit paths: the op's txn word paired with its slot generation.
+func opDedupID(txn, gen uint32) uint64 { return uint64(txn)<<16 | uint64(gen) }
+
+// opWriter extracts the writing client's index from an individual txn word.
+func opWriter(txn uint32) int32 { return int32(uint16(txn >> 12 & 0x7FFFF)) }
 
 // onGet: args [reqID, key] -> reply [reqID, status, value, version]. The
 // reply stamps the key's commit version and implicitly grants a Lease-long
@@ -208,7 +233,7 @@ func (s *server) onCommitPut(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []
 	reqID, txn, key, val := args[0], args[1], args[2], args[3]
 	s.commits++
 	sh := s.shardFor(key)
-	ver := s.bump(p.Now(), sh, key, txn, reqID)
+	ver := s.bump(p.Now(), sh, key, opDedupID(txn, reqID>>16), opWriter(txn))
 	sh.store[key] = val
 	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, ver)
 }
@@ -221,7 +246,7 @@ func (s *server) onCommitDel(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []
 	reqID, txn, key := args[0], args[1], args[2]
 	s.deletes++
 	sh := s.shardFor(key)
-	ver := s.bump(p.Now(), sh, key, txn, reqID)
+	ver := s.bump(p.Now(), sh, key, opDedupID(txn, reqID>>16), opWriter(txn))
 	delete(sh.store, key)
 	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, ver)
 }
@@ -232,6 +257,88 @@ func (s *server) onUnlock(p *sim.Proc, ep *am.Endpoint, tok am.Token, args []uin
 	s.unlocks++
 	s.shardFor(key).unlock(key, txn)
 	ep.Reply(p, tok, s.svc.hResp, reqID, StatusOK, 0)
+}
+
+// Batch handlers (see wire.go for the formats). Each runs as a bulk-store
+// completion: the op vector has already landed in this server's staging
+// segment, so the handler parses it in place and sends one short reply for
+// the whole round — the per-op work is map operations only, no sends.
+
+// onLockBatch: a lock-all round at the shard primary. Every key is try-
+// locked under the batch txn (idempotent for duplicate keys within the
+// batch); the reply's payload is the grant bitmap, so partial denials fail
+// only the denied members. The deny+retry latch discipline is unchanged —
+// nothing ever queues on a latch.
+func (s *server) onLockBatch(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, nbytes int, arg uint32) {
+	mem := ep.Node().Mem.Slice(addr, nbytes)
+	k := nbytes / 4
+	shID := int(arg>>4) & 0xFFF
+	sh := s.shards[shID]
+	if sh == nil {
+		panic("kv: batch routed to a server not hosting the shard")
+	}
+	btxn := batchTxn(tok.Src-s.svc.cfg.Servers, shID)
+	s.batchRounds++
+	var mask uint32
+	for i := 0; i < k; i++ {
+		s.locks++
+		if sh.tryLock(getU32(mem[4*i:]), btxn) {
+			mask |= 1 << i
+		} else {
+			s.lockDenied++
+		}
+	}
+	ep.Reply(p, tok, s.svc.hBResp, arg, mask)
+}
+
+// onCommitBatch: a commit-all round at one replica. Same-key puts combine
+// last-writer-wins: only the batch's final put to a key is applied, and the
+// version bumps once for it — every replica sees the same vector, so the
+// survivor (and the resulting meta) is identical everywhere. Each applied
+// op bumps under its member dedup id with writer < 0, so the invalidation
+// push goes to all tracked holders including the writer (the batch reply
+// cannot carry per-key versions).
+func (s *server) onCommitBatch(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, nbytes int, arg uint32) {
+	mem := ep.Node().Mem.Slice(addr, nbytes)
+	k := nbytes / stageOpBytes
+	sh := s.shards[int(arg>>4)&0xFFF]
+	now := p.Now()
+	for i := 0; i < k; i++ {
+		key := getU32(mem[i*stageOpBytes:])
+		superseded := false
+		for j := i + 1; j < k; j++ {
+			if getU32(mem[j*stageOpBytes:]) == key {
+				superseded = true
+				break
+			}
+		}
+		if superseded {
+			s.combined++
+			continue
+		}
+		val := getU32(mem[i*stageOpBytes+4:])
+		txn := getU32(mem[i*stageOpBytes+8:])
+		gen := getU32(mem[i*stageOpBytes+12:])
+		s.commits++
+		s.bump(now, sh, key, opDedupID(txn, gen), -1)
+		sh.store[key] = val
+	}
+	ep.Reply(p, tok, s.svc.hBResp, arg, 0)
+}
+
+// onUnlockBatch: release the batch's granted latches (stale or duplicate
+// unlocks are no-ops, exactly like the individual path).
+func (s *server) onUnlockBatch(p *sim.Proc, ep *am.Endpoint, tok am.Token, addr hw.Addr, nbytes int, arg uint32) {
+	mem := ep.Node().Mem.Slice(addr, nbytes)
+	k := nbytes / 4
+	shID := int(arg>>4) & 0xFFF
+	sh := s.shards[shID]
+	btxn := batchTxn(tok.Src-s.svc.cfg.Servers, shID)
+	for i := 0; i < k; i++ {
+		s.unlocks++
+		sh.unlock(getU32(mem[4*i:]), btxn)
+	}
+	ep.Reply(p, tok, s.svc.hBResp, arg, 0)
 }
 
 // onDone: args [clientIdx]. No reply — the request's delivery is already

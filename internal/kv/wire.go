@@ -1,0 +1,69 @@
+// Batch wire format for the write path. Short Active Messages carry at
+// most four words, so a multi-op commit batch cannot ride am_request;
+// instead the client am_stores a packed op vector into a per-(client,
+// shard) staging block registered on every server, and the bulk-completion
+// handler parses it and sends one short reply for the whole batch. The
+// three phases reuse the same staging block — each phase's store is fully
+// consumed by its handler before the client (sequenced by the reply) sends
+// the next one.
+//
+//   - lock-all:   4 bytes per op:  key
+//   - commit-all: 16 bytes per op: key, value, member txn, member slot gen
+//   - unlock-all: 4 bytes per op:  key
+//
+// Latches for the whole batch are taken under a synthetic batch txn
+// (batchTxn) so duplicate keys within one batch re-grant idempotently;
+// commits carry each member's own (txn, gen) so the per-op version dedup id
+// matches what an individual re-commit of that member would use — a batch
+// that aborts mid-replication can fall back to individual re-commits and
+// stay idempotent at replicas that already applied the batch.
+//
+// The batch reply routes on a single word: gen<<16 | shard<<4 | sub, where
+// sub 0 is the lock round, 1 the unlock round, and 2+r the commit to
+// replica r. The lock reply's payload is the per-op grant bitmap (batch
+// size is capped at 32 so it fits one word); partial denials fail only the
+// denied members.
+package kv
+
+import "spam/internal/hw"
+
+const (
+	maxBatchOps  = 32 // grant bitmap is one wire word
+	stageOpBytes = 16 // commit-all is the widest encoding
+	stageBytes   = maxBatchOps * stageOpBytes
+
+	bsubLock   = 0
+	bsubUnlock = 1
+	bsubCommit = 2 // +replica rank
+)
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// bReqID is the batch reply routing word. The shard id must fit 12 bits —
+// withDefaults enforces numShards <= 4096.
+func bReqID(gen, sh, sub uint32) uint32 { return gen<<16 | sh<<4 | sub }
+
+// batchTxn is the latch owner for a batch: bit 31 marks a txn (latch owners
+// are never 0), bit 30 marks a batch, and the (client, shard) pair makes it
+// unique among concurrent batches — a client runs at most one batch per
+// shard at a time. Bits 12..27 carry the client index exactly like a slot
+// txn, but bit 30 keeps it out of the individual txn space.
+func batchTxn(cli, sh int) uint32 {
+	return 1<<31 | 1<<30 | uint32(cli)<<12 | uint32(sh)
+}
+
+// stageAddr is the staging block for this client's batches to shard sh —
+// the same (segment, offset) on every server, so one address works for the
+// lock store at the primary and the commit stores at every replica.
+func (cl *client) stageAddr(sh uint32) hw.Addr {
+	return hw.Addr{Seg: cl.svc.stageSeg, Off: (cl.idx*cl.svc.numShards + int(sh)) * stageBytes}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench-host.sh — run the host-time microbenchmarks and snapshot them as
-# BENCH_host.json (schema spam-host-bench/v5).
+# BENCH_host.json (schema spam-host-bench/v6).
 #
 # Two benchmark families feed the snapshot:
 #   - internal/sim:  engine event-loop cost (ns/dispatch, events/sec) — the
@@ -22,6 +22,10 @@
 # same served-workload point under the read-mostly mix with the client
 # read cache on, recording the hit rate and the cached GET p99 — also
 # simulated-time quantities, so drift means a coherence-protocol change.
+# v6 adds the "kv_write" member: the write-heavy mix with commit batching
+# and write combining on, recording the PUT p99, the batched-PUT fraction,
+# and the server-combined write count — drift here means the contention-
+# relief protocol changed behavior.
 #
 # Every run also appends a dated one-line copy of the snapshot (plus the
 # git SHA it was measured at) to results/bench-history.jsonl, so perf over
@@ -76,6 +80,7 @@ fi
 
 kv_json=null
 kvcache_json=null
+kvwrite_json=null
 if [[ "${SKIP_KV:-0}" != 1 ]]; then
 	kv_out=$(go run ./cmd/kv-bench -rate 100000 -reqs 20000 -clients 100000 -json)
 	kv_ops=$(printf '%s\n' "$kv_out" | awk '/"name": "kv_saturation"/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
@@ -88,11 +93,18 @@ if [[ "${SKIP_KV:-0}" != 1 ]]; then
 	kvc_p99=$(printf '%s\n' "$kvc_out" | awk '/"name": "kv_get_p99@/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
 	echo "kv-bench readmostly cached: hit rate ${kvc_hit}, GET p99 ${kvc_p99} us (simulated)" >&2
 	kvcache_json="{\"name\": \"kv-bench -rate 100000 -mix readmostly\", \"hit_rate\": ${kvc_hit}, \"get_p99_us\": ${kvc_p99}}"
+
+	kvw_out=$(go run ./cmd/kv-bench -rate 100000 -reqs 20000 -clients 100000 -mix writeheavy -json)
+	kvw_p99=$(printf '%s\n' "$kvw_out" | awk '/"name": "kv_put_p99@/{f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}')
+	kvw_puts=$(printf '%s\n' "$kvw_out" | sed -n 's/.*"batched_puts": \([0-9]*\).*/\1/p' | head -1)
+	kvw_comb=$(printf '%s\n' "$kvw_out" | sed -n 's/.*"combined_puts": \([0-9]*\).*/\1/p' | head -1)
+	echo "kv-bench writeheavy batched: PUT p99 ${kvw_p99} us, ${kvw_puts} batched, ${kvw_comb} combined (simulated)" >&2
+	kvwrite_json="{\"name\": \"kv-bench -rate 100000 -mix writeheavy\", \"put_p99_us\": ${kvw_p99}, \"batched_puts\": ${kvw_puts}, \"combined_puts\": ${kvw_comb}}"
 fi
 
 {
 	echo '{'
-	echo '  "schema": "spam-host-bench/v5",'
+	echo '  "schema": "spam-host-bench/v6",'
 	awk '
 		/^goos:/   { if (!goos)   { printf("  \"goos\": \"%s\",\n", $2); goos=1 } }
 		/^goarch:/ { if (!goarch) { printf("  \"goarch\": \"%s\",\n", $2); goarch=1 } }
@@ -130,6 +142,7 @@ fi
 	echo '  ],'
 	echo "  \"kv\": $kv_json,"
 	echo "  \"kv_cache\": $kvcache_json,"
+	echo "  \"kv_write\": $kvwrite_json,"
 	echo "  \"nodepar\": $nodepar_json,"
 	echo "  \"end_to_end\": {\"name\": \"splitc-bench -paper\", \"wall_seconds\": $paper_wall}"
 	echo '}'
@@ -144,7 +157,7 @@ if [[ "${SKIP_HISTORY:-0}" != 1 ]]; then
 	# The benchmark rows in $out each sit on one line; join them into a
 	# one-line array for the append-only history log.
 	rows=$(sed -n '/"benchmarks": \[/,/^  \],$/p' "$out" | sed '1d;$d;s/^ *//' | tr '\n' ' ' | sed 's/ $//')
-	printf '{"schema": "spam-host-bench/v5", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "kv_cache": %s, "nodepar": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
-		"$stamp" "$sha" "$rows" "$kv_json" "$kvcache_json" "$nodepar_json" "$paper_wall" >>"$hist"
+	printf '{"schema": "spam-host-bench/v6", "date": "%s", "git_sha": "%s", "benchmarks": [%s], "kv": %s, "kv_cache": %s, "kv_write": %s, "nodepar": %s, "end_to_end": {"name": "splitc-bench -paper", "wall_seconds": %s}}\n' \
+		"$stamp" "$sha" "$rows" "$kv_json" "$kvcache_json" "$kvwrite_json" "$nodepar_json" "$paper_wall" >>"$hist"
 	echo "appended history row to $hist" >&2
 fi

@@ -34,12 +34,21 @@
 # simulated-time, deterministic on any host — a failure is a coherence or
 # eviction behavior change, never noise.
 #
+# With GATE_KVWRITE=1 the script runs the write-heavy mix at the pre-change
+# saturation point (default zipf 1.3 skew) with commit batching + write
+# combining on versus the per-op path (-writebatch=false -fixedbackoff) and
+# gates the contention-relief contract: the batched PUT p99 must be at
+# least KVWRITE_RATIO (default 2.0) times better than the per-op arm, and
+# at least one PUT must actually have ridden a batch. Simulated-time,
+# deterministic — a failure is a protocol behavior change, never noise.
+#
 #   scripts/bench-regress.sh                    # compare vs BENCH_host.json
 #   scripts/bench-regress.sh baseline.json      # custom baseline
 #   FACTOR=3 scripts/bench-regress.sh           # looser threshold
 #   BENCHTIME=2s scripts/bench-regress.sh       # steadier measurement
 #   GATE_NODEPAR=1 scripts/bench-regress.sh     # also gate -nodepar speedup
 #   GATE_KVCACHE=1 scripts/bench-regress.sh     # also gate the read cache
+#   GATE_KVWRITE=1 scripts/bench-regress.sh     # also gate write batching
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -154,6 +163,35 @@ if [[ "${GATE_KVCACHE:-0}" == 1 ]]; then
 			printf("%s kv cached GET p99  %10.4g us vs %10.4g us uncached  (%.1fx, need >= %.2gx)\n",
 			       rs, on, off, ratio, minratio)
 			printf("%s kv cache hit rate  %10.3f  (need >= %.2f)\n", hs, hit, minhit)
+			exit bad
+		}'
+fi
+
+# Write-contention gate: batching + combining + adaptive backoff vs the
+# per-op path on the write-heavy mix at saturation. Simulated-time, so the
+# comparison is exact; the arms differ only in -writebatch/-fixedbackoff.
+if [[ "${GATE_KVWRITE:-0}" == 1 ]]; then
+	kvw_metric() { # kvw_metric <json> <name-prefix>
+		printf '%s\n' "$1" | awk -v pat="\"name\": \"$2" \
+			'index($0, pat){f=1;next} f && /"value":/{gsub(/[",]/,"",$2); print $2; exit}'
+	}
+	kvw_flags=(-rate 200000 -reqs 10000 -clients 100000 -mix writeheavy -json)
+	won=$(go run ./cmd/kv-bench "${kvw_flags[@]}")
+	woff=$(go run ./cmd/kv-bench "${kvw_flags[@]}" -writebatch=false -fixedbackoff)
+	p99w_on=$(kvw_metric "$won" 'kv_put_p99@')
+	p99w_off=$(kvw_metric "$woff" 'kv_put_p99@')
+	batched=$(printf '%s\n' "$won" | sed -n 's/.*"batched_puts": \([0-9]*\).*/\1/p' | head -1)
+	awk -v on="$p99w_on" -v off="$p99w_off" -v batched="${batched:-0}" \
+		-v minratio="${KVWRITE_RATIO:-2.0}" '
+		BEGIN {
+			bad = 0
+			ratio = off / on
+			rs = (ratio >= minratio) ? "ok  " : "FAIL"
+			bs = (batched > 0) ? "ok  " : "FAIL"
+			if (rs == "FAIL" || bs == "FAIL") bad = 1
+			printf("%s kv batched PUT p99 %10.4g us vs %10.4g us per-op  (%.1fx, need >= %.2gx)\n",
+			       rs, on, off, ratio, minratio)
+			printf("%s kv batched puts    %10d  (need > 0)\n", bs, batched)
 			exit bad
 		}'
 fi

@@ -60,6 +60,7 @@ gen table6.txt go run ./cmd/nas-bench -par "$par" -nodepar "$nodepar"
 gen chaos-kill.txt go run ./cmd/spam-bench -par "$par" -nodepar "$nodepar" -chaos kill
 gen kv-tail.txt go run ./cmd/kv-bench -par "$par" -nodepar "$nodepar" -reqs 10000 -clients 100000
 gen kv-cache.txt go run ./cmd/kv-bench -par "$par" -nodepar "$nodepar" -cachetable -reqs 10000 -clients 100000
+gen kv-write.txt go run ./cmd/kv-bench -par "$par" -nodepar "$nodepar" -writetable -reqs 10000 -clients 100000
 
 fail=0
 for f in "$tmp"/*; do
